@@ -1,0 +1,134 @@
+//! Least-squares fits used to check the *shape* of measured growth curves
+//! against the paper's asymptotic claims.
+//!
+//! The standard instrument is the log–log slope: if
+//! `rounds(n) ≈ c · n^k · polylog(n)`, then a least-squares line through
+//! `(ln n, ln rounds)` has slope ≈ `k` (slightly above, due to the polylog
+//! term). Experiments assert measured slopes fall in generous bands around
+//! each theorem's exponent.
+
+use serde::{Deserialize, Serialize};
+
+/// Result of a simple linear regression `y ≈ slope·x + intercept`.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LinearFit {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Coefficient of determination `R²` (1 for a perfect fit; 0 when the
+    /// fit explains nothing; can be negative for terrible fits).
+    pub r_squared: f64,
+}
+
+/// Ordinary least squares on `(x, y)` pairs. Panics with fewer than 2
+/// points or zero x-variance.
+pub fn linear_fit(points: &[(f64, f64)]) -> LinearFit {
+    assert!(points.len() >= 2, "need ≥ 2 points to fit a line");
+    let n = points.len() as f64;
+    let mean_x = points.iter().map(|p| p.0).sum::<f64>() / n;
+    let mean_y = points.iter().map(|p| p.1).sum::<f64>() / n;
+    let sxx: f64 = points.iter().map(|p| (p.0 - mean_x).powi(2)).sum();
+    assert!(sxx > 0.0, "x values are all identical");
+    let sxy: f64 = points.iter().map(|p| (p.0 - mean_x) * (p.1 - mean_y)).sum();
+    let slope = sxy / sxx;
+    let intercept = mean_y - slope * mean_x;
+    let ss_res: f64 = points
+        .iter()
+        .map(|p| (p.1 - (slope * p.0 + intercept)).powi(2))
+        .sum();
+    let ss_tot: f64 = points.iter().map(|p| (p.1 - mean_y).powi(2)).sum();
+    let r_squared = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
+    LinearFit { slope, intercept, r_squared }
+}
+
+/// Fit `y ≈ c·x^k` by regressing `ln y` on `ln x`; returns the fit in log
+/// space (slope = exponent `k`). All coordinates must be positive.
+pub fn log_log_fit(points: &[(f64, f64)]) -> LinearFit {
+    assert!(
+        points.iter().all(|p| p.0 > 0.0 && p.1 > 0.0),
+        "log–log fit needs positive coordinates"
+    );
+    let logged: Vec<(f64, f64)> = points.iter().map(|p| (p.0.ln(), p.1.ln())).collect();
+    linear_fit(&logged)
+}
+
+/// Fit `y ≈ c·(ln x)^k` by regressing `ln y` on `ln ln x`: the instrument
+/// for "is this polylogarithmic?" claims. Requires `x > e` so `ln ln x` is
+/// defined and positive.
+pub fn log_polylog_fit(points: &[(f64, f64)]) -> LinearFit {
+    assert!(
+        points.iter().all(|p| p.0 > std::f64::consts::E && p.1 > 0.0),
+        "polylog fit needs x > e and positive y"
+    );
+    let logged: Vec<(f64, f64)> = points.iter().map(|p| (p.0.ln().ln(), p.1.ln())).collect();
+    linear_fit(&logged)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line() {
+        let f = linear_fit(&[(0.0, 1.0), (1.0, 3.0), (2.0, 5.0)]);
+        assert!((f.slope - 2.0).abs() < 1e-12);
+        assert!((f.intercept - 1.0).abs() < 1e-12);
+        assert!((f.r_squared - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_line_reasonable() {
+        let pts: Vec<(f64, f64)> = (0..50)
+            .map(|i| {
+                let x = i as f64;
+                let noise = if i % 2 == 0 { 0.5 } else { -0.5 };
+                (x, 3.0 * x + 1.0 + noise)
+            })
+            .collect();
+        let f = linear_fit(&pts);
+        assert!((f.slope - 3.0).abs() < 0.01, "slope {}", f.slope);
+        assert!(f.r_squared > 0.99);
+    }
+
+    #[test]
+    fn log_log_recovers_exponent() {
+        // y = 5 x^2
+        let pts: Vec<(f64, f64)> = (1..20).map(|i| (i as f64, 5.0 * (i as f64).powi(2))).collect();
+        let f = log_log_fit(&pts);
+        assert!((f.slope - 2.0).abs() < 1e-9, "slope {}", f.slope);
+        assert!((f.intercept - 5.0f64.ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn log_log_polylog_contamination_small() {
+        // y = x^2 · ln(x): slope should land slightly above 2.
+        let pts: Vec<(f64, f64)> =
+            (8..64).map(|i| (i as f64, (i as f64).powi(2) * (i as f64).ln())).collect();
+        let f = log_log_fit(&pts);
+        assert!(f.slope > 2.0 && f.slope < 2.6, "slope {}", f.slope);
+    }
+
+    #[test]
+    fn polylog_fit_recovers_power() {
+        // y = (ln x)^3
+        let pts: Vec<(f64, f64)> = (4..40).map(|i| {
+            let x = (i as f64).exp2(); // large x
+            (x, x.ln().powi(3))
+        }).collect();
+        let f = log_polylog_fit(&pts);
+        assert!((f.slope - 3.0).abs() < 1e-6, "slope {}", f.slope);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn log_log_rejects_nonpositive() {
+        log_log_fit(&[(0.0, 1.0), (1.0, 2.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "identical")]
+    fn degenerate_x_panics() {
+        linear_fit(&[(1.0, 1.0), (1.0, 2.0)]);
+    }
+}

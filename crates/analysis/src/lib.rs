@@ -1,0 +1,19 @@
+//! Statistics, curve fitting and table rendering for experiments.
+//!
+//! * [`stats`] — sample summaries (mean/median/percentiles/CI).
+//! * [`fit`] — least-squares fits in linear, log-log, and log-polylog
+//!   space, the instruments for checking asymptotic *shapes*.
+//! * [`compare`] — histograms, bootstrap confidence intervals, and the
+//!   Mann-Whitney U test for "A reliably beats B" claims.
+//! * [`table`] — aligned-text and CSV table rendering.
+
+pub mod compare;
+pub mod fit;
+pub mod stats;
+pub mod table;
+
+/// A small deterministic RNG for resampling utilities.
+pub(crate) fn splitmix_rng(seed: u64) -> rand::rngs::SmallRng {
+    use rand::SeedableRng;
+    rand::rngs::SmallRng::seed_from_u64(seed)
+}

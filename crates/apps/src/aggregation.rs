@@ -1,0 +1,268 @@
+//! Gossip aggregation in the mobile telephone model.
+//!
+//! Two aggregates, both with constant-size connection payloads:
+//!
+//! * [`MinGossip`] — exact minimum (or, by negating inputs, maximum) of a
+//!   `u64` value per node. Structurally identical to blind gossip, so
+//!   Theorem VI.1's stabilization bound applies verbatim.
+//! * [`SizeEstimator`] — network-size estimation by *extrema propagation*
+//!   (Baquero et al.): each node draws `K` independent `Exp(1)` variables;
+//!   the network gossips the pointwise minimum vector; since the minimum of
+//!   `n` exponentials is `Exp(n)`, the unbiased estimator
+//!   `n̂ = (K-1)/Σ_j m_j` concentrates around `n`. One vector of `K` floats
+//!   per connection — constant-size for fixed `K`, satisfying the payload
+//!   budget (`K·64` bits; default `K = 32` ⇒ 2048 bits, documented as the
+//!   budget when constructing [`mtm_engine::ModelParams`] for this app).
+
+use mtm_engine::{Action, PayloadCost, Protocol, Scan, Tag};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Number of exponential draws per node in [`SizeEstimator`].
+pub const ESTIMATOR_WIDTH: usize = 32;
+
+/// Exact-minimum gossip over `u64` values.
+#[derive(Clone, Debug)]
+pub struct MinGossip {
+    value: u64,
+    best: u64,
+}
+
+/// One `u64` payload (counted as a UID-sized item).
+#[derive(Clone, Copy, Debug)]
+pub struct MinPayload(pub u64);
+
+impl PayloadCost for MinPayload {
+    fn uid_count(&self) -> u32 {
+        1
+    }
+    fn extra_bits(&self) -> u32 {
+        0
+    }
+}
+
+impl MinGossip {
+    /// A node contributing `value` to the minimum.
+    pub fn new(value: u64) -> MinGossip {
+        MinGossip { value, best: value }
+    }
+
+    /// One node per value.
+    pub fn spawn(values: &[u64]) -> Vec<MinGossip> {
+        values.iter().map(|&v| MinGossip::new(v)).collect()
+    }
+
+    /// Smallest value seen so far.
+    pub fn current_min(&self) -> u64 {
+        self.best
+    }
+
+    /// This node's own contribution.
+    pub fn own_value(&self) -> u64 {
+        self.value
+    }
+}
+
+impl Protocol for MinGossip {
+    type Payload = MinPayload;
+
+    fn advertise(&mut self, _local_round: u64, _rng: &mut SmallRng) -> Tag {
+        Tag::EMPTY
+    }
+
+    fn act(&mut self, scan: &Scan<'_>, rng: &mut SmallRng) -> Action {
+        if scan.is_empty() || !rng.gen_bool(0.5) {
+            return Action::Listen;
+        }
+        let i = rng.gen_range(0..scan.len());
+        Action::Propose(scan.neighbors[i])
+    }
+
+    fn payload(&self) -> MinPayload {
+        MinPayload(self.best)
+    }
+
+    fn on_connect(&mut self, peer: &MinPayload, _rng: &mut SmallRng) {
+        self.best = self.best.min(peer.0);
+    }
+}
+
+/// Vector of pointwise minima exchanged by [`SizeEstimator`].
+#[derive(Clone, Debug)]
+pub struct MinVector(pub [f64; ESTIMATOR_WIDTH]);
+
+impl PayloadCost for MinVector {
+    fn uid_count(&self) -> u32 {
+        0
+    }
+    fn extra_bits(&self) -> u32 {
+        (ESTIMATOR_WIDTH * 64) as u32
+    }
+}
+
+/// Network-size estimation by extrema propagation.
+#[derive(Clone, Debug)]
+pub struct SizeEstimator {
+    minima: [f64; ESTIMATOR_WIDTH],
+}
+
+impl SizeEstimator {
+    /// A node with its own `Exp(1)` draws, derived from `seed`.
+    pub fn new(seed: u64) -> SizeEstimator {
+        let mut rng = mtm_graph::rng::stream_rng(seed, 0);
+        let mut minima = [0.0; ESTIMATOR_WIDTH];
+        for slot in minima.iter_mut() {
+            // Inverse-CDF sampling of Exp(1); `1 - gen::<f64>()` is in
+            // (0, 1], avoiding ln(0).
+            let u: f64 = 1.0 - rng.gen::<f64>();
+            *slot = -u.ln();
+        }
+        SizeEstimator { minima }
+    }
+
+    /// One node per index, each with independent draws.
+    pub fn spawn(n: usize, seed: u64) -> Vec<SizeEstimator> {
+        (0..n).map(|u| SizeEstimator::new(mtm_graph::rng::derive_seed(seed, u as u64))).collect()
+    }
+
+    /// The current size estimate `n̂ = (K-1)/Σ minima` (unbiased for the
+    /// fully-converged vector).
+    pub fn estimate(&self) -> f64 {
+        let sum: f64 = self.minima.iter().sum();
+        (ESTIMATOR_WIDTH as f64 - 1.0) / sum
+    }
+
+    /// The raw minima vector (for convergence checks).
+    pub fn minima(&self) -> &[f64; ESTIMATOR_WIDTH] {
+        &self.minima
+    }
+}
+
+impl Protocol for SizeEstimator {
+    type Payload = MinVector;
+
+    fn advertise(&mut self, _local_round: u64, _rng: &mut SmallRng) -> Tag {
+        Tag::EMPTY
+    }
+
+    fn act(&mut self, scan: &Scan<'_>, rng: &mut SmallRng) -> Action {
+        if scan.is_empty() || !rng.gen_bool(0.5) {
+            return Action::Listen;
+        }
+        let i = rng.gen_range(0..scan.len());
+        Action::Propose(scan.neighbors[i])
+    }
+
+    fn payload(&self) -> MinVector {
+        MinVector(self.minima)
+    }
+
+    fn on_connect(&mut self, peer: &MinVector, _rng: &mut SmallRng) {
+        for (mine, theirs) in self.minima.iter_mut().zip(peer.0.iter()) {
+            if *theirs < *mine {
+                *mine = *theirs;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtm_engine::{ActivationSchedule, Engine, ModelParams};
+    use mtm_graph::{gen, StaticTopology};
+
+    #[test]
+    fn min_gossip_converges_to_true_min() {
+        let values: Vec<u64> = (0..20).map(|i| (i * 37 + 11) % 100 + 5).collect();
+        let true_min = *values.iter().min().unwrap();
+        let g = gen::random_regular(20, 4, 1);
+        let mut e = Engine::new(
+            StaticTopology::new(g),
+            ModelParams::mobile(0),
+            ActivationSchedule::synchronized(20),
+            MinGossip::spawn(&values),
+            2,
+        );
+        let done = e.run_until(1_000_000, |e| {
+            e.nodes().iter().all(|p| p.current_min() == true_min)
+        });
+        assert!(done.is_some());
+    }
+
+    #[test]
+    fn min_gossip_is_monotone() {
+        let mut rng = mtm_graph::rng::stream_rng(0, 0);
+        let mut node = MinGossip::new(50);
+        node.on_connect(&MinPayload(80), &mut rng);
+        assert_eq!(node.current_min(), 50);
+        node.on_connect(&MinPayload(20), &mut rng);
+        assert_eq!(node.current_min(), 20);
+        assert_eq!(node.own_value(), 50);
+    }
+
+    #[test]
+    fn size_estimator_converges_and_is_accurate() {
+        let n = 100;
+        // Payload is K·64 bits; raise the budget accordingly.
+        let mut params = ModelParams::mobile(0);
+        params.max_payload_bits = (ESTIMATOR_WIDTH * 64) as u32;
+        let g = gen::random_regular(n, 6, 3);
+        let mut e = Engine::new(
+            StaticTopology::new(g),
+            params,
+            ActivationSchedule::synchronized(n),
+            SizeEstimator::spawn(n, 4),
+            5,
+        );
+        // Converged when all vectors are identical.
+        let done = e.run_until(1_000_000, |e| {
+            let first = e.node(0).minima();
+            e.nodes().iter().all(|p| p.minima() == first)
+        });
+        assert!(done.is_some(), "minima vectors must converge");
+        let est = e.node(0).estimate();
+        // K = 32 gives relative error ~1/√(K-2) ≈ 18%; accept a wide band.
+        assert!(
+            est > n as f64 * 0.5 && est < n as f64 * 2.0,
+            "estimate {est} too far from n = {n}"
+        );
+    }
+
+    #[test]
+    fn size_estimates_scale_with_n() {
+        // The converged estimate should grow with the true network size.
+        let estimate_for = |n: usize, seed: u64| {
+            let mut params = ModelParams::mobile(0);
+            params.max_payload_bits = (ESTIMATOR_WIDTH * 64) as u32;
+            let g = gen::random_regular(n, 4, seed);
+            let mut e = Engine::new(
+                StaticTopology::new(g),
+                params,
+                ActivationSchedule::synchronized(n),
+                SizeEstimator::spawn(n, seed ^ 1),
+                seed ^ 2,
+            );
+            e.run_until(1_000_000, |e| {
+                let first = e.node(0).minima();
+                e.nodes().iter().all(|p| p.minima() == first)
+            })
+            .expect("must converge");
+            e.node(0).estimate()
+        };
+        // Average over a few seeds to tame estimator variance.
+        let small: f64 = (0..5).map(|s| estimate_for(16, s)).sum::<f64>() / 5.0;
+        let large: f64 = (0..5).map(|s| estimate_for(128, s)).sum::<f64>() / 5.0;
+        assert!(
+            large > small * 3.0,
+            "estimates should scale with n: n=16 → {small}, n=128 → {large}"
+        );
+    }
+
+    #[test]
+    fn exponential_draws_are_positive() {
+        let node = SizeEstimator::new(7);
+        assert!(node.minima().iter().all(|&x| x > 0.0));
+        assert!(node.estimate().is_finite());
+    }
+}

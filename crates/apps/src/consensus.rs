@@ -1,0 +1,158 @@
+//! Binary consensus by leader election.
+//!
+//! Each node starts with an input bit. Nodes run blind-gossip leader
+//! election with the input of the current best candidate piggybacked on
+//! the payload (one UID + one bit — well within the model's connection
+//! budget). When the election stabilizes, every node's `decision` is the
+//! input bit of the elected leader, giving:
+//!
+//! * **Agreement** — all nodes track the same minimum UID, so they adopt
+//!   the same bit;
+//! * **Validity** — the decision is some node's actual input;
+//! * **Termination** — inherited from Theorem VI.1's stabilization bound.
+
+use mtm_engine::{Action, LeaderView, PayloadCost, Protocol, Scan, Tag};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Candidate payload: the smallest UID seen plus that node's input bit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Candidate {
+    /// Smallest UID seen so far.
+    pub uid: u64,
+    /// The input bit of the node that owns `uid`.
+    pub input: bool,
+}
+
+impl PayloadCost for Candidate {
+    fn uid_count(&self) -> u32 {
+        1
+    }
+    fn extra_bits(&self) -> u32 {
+        1
+    }
+}
+
+/// Per-node state for leader-based binary consensus.
+#[derive(Clone, Debug)]
+pub struct LeaderConsensus {
+    uid: u64,
+    input: bool,
+    best: Candidate,
+}
+
+impl LeaderConsensus {
+    /// A node with the given UID and input bit.
+    pub fn new(uid: u64, input: bool) -> LeaderConsensus {
+        LeaderConsensus { uid, input, best: Candidate { uid, input } }
+    }
+
+    /// One node per `(uid, input)` pair.
+    pub fn spawn(inputs: &[(u64, bool)]) -> Vec<LeaderConsensus> {
+        inputs.iter().map(|&(u, b)| LeaderConsensus::new(u, b)).collect()
+    }
+
+    /// The node's current decision candidate (final once the underlying
+    /// election stabilizes).
+    pub fn decision(&self) -> bool {
+        self.best.input
+    }
+
+    /// This node's own input.
+    pub fn input(&self) -> bool {
+        self.input
+    }
+}
+
+impl Protocol for LeaderConsensus {
+    type Payload = Candidate;
+
+    fn advertise(&mut self, _local_round: u64, _rng: &mut SmallRng) -> Tag {
+        Tag::EMPTY
+    }
+
+    fn act(&mut self, scan: &Scan<'_>, rng: &mut SmallRng) -> Action {
+        if scan.is_empty() || !rng.gen_bool(0.5) {
+            return Action::Listen;
+        }
+        let i = rng.gen_range(0..scan.len());
+        Action::Propose(scan.neighbors[i])
+    }
+
+    fn payload(&self) -> Candidate {
+        self.best
+    }
+
+    fn on_connect(&mut self, peer: &Candidate, _rng: &mut SmallRng) {
+        if peer.uid < self.best.uid {
+            self.best = *peer;
+        }
+    }
+}
+
+impl LeaderView for LeaderConsensus {
+    fn leader(&self) -> u64 {
+        self.best.uid
+    }
+    fn uid(&self) -> u64 {
+        self.uid
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtm_engine::{ActivationSchedule, Engine, ModelParams};
+    use mtm_graph::{gen, StaticTopology};
+
+    fn run_consensus(inputs: Vec<(u64, bool)>, seed: u64) -> (bool, Vec<bool>) {
+        let n = inputs.len();
+        let expect = inputs.iter().min_by_key(|(u, _)| u).unwrap().1;
+        let g = gen::random_regular(n, 3, seed);
+        let mut e = Engine::new(
+            StaticTopology::new(g),
+            ModelParams::mobile(0),
+            ActivationSchedule::synchronized(n),
+            LeaderConsensus::spawn(&inputs),
+            seed,
+        );
+        let out = e.run_to_stabilization(10_000_000);
+        assert!(out.stabilized_round.is_some());
+        (expect, e.nodes().iter().map(|p| p.decision()).collect())
+    }
+
+    #[test]
+    fn agreement_and_validity() {
+        let inputs: Vec<(u64, bool)> =
+            (0..16).map(|i| (1000 - i as u64, i % 3 == 0)).collect();
+        let (expect, decisions) = run_consensus(inputs, 4);
+        assert!(decisions.iter().all(|&d| d == expect), "disagreement or invalid decision");
+    }
+
+    #[test]
+    fn unanimous_input_decides_that_value() {
+        for value in [false, true] {
+            let inputs: Vec<(u64, bool)> = (0..12).map(|i| (i as u64 * 7 + 3, value)).collect();
+            let (_, decisions) = run_consensus(inputs, 9);
+            assert!(decisions.iter().all(|&d| d == value), "validity violated for {value}");
+        }
+    }
+
+    #[test]
+    fn decision_is_leaders_input_not_majority() {
+        // Minority value held by the min-UID node must win: consensus here
+        // is leader-based, not majority voting.
+        let mut inputs: Vec<(u64, bool)> = (1..16).map(|i| (i as u64 + 10, false)).collect();
+        inputs.push((1, true)); // min UID holds the minority value
+        let (expect, decisions) = run_consensus(inputs, 5);
+        assert!(expect);
+        assert!(decisions.iter().all(|&d| d));
+    }
+
+    #[test]
+    fn candidate_payload_within_budget() {
+        let c = Candidate { uid: u64::MAX, input: true };
+        assert_eq!(c.uid_count(), 1);
+        assert_eq!(c.extra_bits(), 1);
+    }
+}

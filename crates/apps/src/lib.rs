@@ -1,0 +1,35 @@
+//! Distributed applications built on the mobile telephone model.
+//!
+//! The paper's introduction positions leader election as "a key primitive
+//! that supports the development of more sophisticated distributed systems
+//! by simplifying tasks such as event ordering, agreement, and
+//! synchronization." This crate demonstrates exactly those three, each
+//! implemented *within the model* — every protocol respects the
+//! one-connection-per-round limit and the O(1)-UIDs-per-connection payload
+//! budget:
+//!
+//! * [`consensus::LeaderConsensus`] — binary consensus: piggyback each
+//!   node's input on the blind-gossip leader race; the winner's input is
+//!   the decision. Agreement, validity, and termination hold whenever
+//!   leader election stabilizes.
+//! * [`aggregation`] — gossip aggregation: exact min/max, and network-size
+//!   estimation by extrema propagation (exchange `k` pointwise-minima of
+//!   exponential draws; `n̂ = (k-1)/Σ minima`) — all with constant-size
+//!   payloads.
+//! * [`ordering::EventOrdering`] — leader-based total-order event
+//!   assignment: an elected sequencer assigns consecutive sequence numbers
+//!   as it meets unassigned events, and assignments gossip one per
+//!   connection; every node converges to the same total order.
+//! * [`gossip::AllToAllGossip`] — the all-to-all gossip problem the
+//!   paper's conclusion lists as future work: n rumors, every node must
+//!   learn all of them, one rumor per connection direction.
+
+pub mod aggregation;
+pub mod consensus;
+pub mod gossip;
+pub mod ordering;
+
+pub use aggregation::{MinGossip, SizeEstimator};
+pub use consensus::LeaderConsensus;
+pub use gossip::AllToAllGossip;
+pub use ordering::EventOrdering;

@@ -1,0 +1,282 @@
+//! Leader-based total-order event assignment.
+//!
+//! Every node starts with one event (identified by the node's UID). A
+//! pre-elected *sequencer* (typically the leader chosen by one of the
+//! paper's algorithms) assigns consecutive sequence numbers as it learns of
+//! unassigned events; finished assignments gossip through the network one
+//! per connection, so the per-connection payload stays within the model's
+//! O(1)-UIDs budget.
+//!
+//! Payload (both directions): one still-unassigned event from the sender's
+//! relay pool (nodes relay unassigned events they hear of, so events reach
+//! the sequencer without a direct meeting), plus one known assignment
+//! chosen round-robin. The sequencer assigns numbers in the order it first
+//! hears of events; every node eventually holds the same `seq → event`
+//! map, a total order consistent across the network.
+
+use mtm_engine::{Action, PayloadCost, Protocol, Scan, Tag};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// One assignment: event `event` has sequence number `seq`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Assignment {
+    /// Sequence number (0-based, dense).
+    pub seq: u32,
+    /// Event id (the origin node's UID).
+    pub event: u64,
+}
+
+/// Connection payload: one unassigned event from the sender's relay pool
+/// (if any) and one known assignment (rotated per send).
+#[derive(Clone, Copy, Debug)]
+pub struct OrderingMsg {
+    /// An event the sender believes has no sequence number yet.
+    pub unassigned: Option<u64>,
+    /// One assignment from the sender's table.
+    pub share: Option<Assignment>,
+}
+
+impl PayloadCost for OrderingMsg {
+    fn uid_count(&self) -> u32 {
+        self.unassigned.is_some() as u32 + self.share.is_some() as u32
+    }
+    fn extra_bits(&self) -> u32 {
+        32 // the sequence number
+    }
+}
+
+/// Per-node state of the total-order assignment protocol.
+#[derive(Clone, Debug)]
+pub struct EventOrdering {
+    uid: u64,
+    /// True iff this node is the sequencer.
+    is_sequencer: bool,
+    /// Next sequence number the sequencer will hand out.
+    next_seq: u32,
+    /// Known assignments, indexed by seq (dense from 0; `u64::MAX` = hole).
+    known: Vec<u64>,
+    /// Unassigned events this node relays (starts with its own event).
+    pending: Vec<u64>,
+    /// Round-robin cursor over `known` for the share slot.
+    cursor: usize,
+    /// Round-robin cursor over `pending` for the relay slot.
+    pending_cursor: usize,
+}
+
+impl EventOrdering {
+    /// A node with event id = `uid`; `is_sequencer` marks the pre-elected
+    /// leader.
+    pub fn new(uid: u64, is_sequencer: bool) -> EventOrdering {
+        EventOrdering {
+            uid,
+            is_sequencer,
+            next_seq: 0,
+            known: Vec::new(),
+            pending: vec![uid],
+            cursor: 0,
+            pending_cursor: 0,
+        }
+    }
+
+    /// One node per UID, with the sequencer at `leader_index`.
+    pub fn spawn(uids: &[u64], leader_index: usize) -> Vec<EventOrdering> {
+        uids.iter()
+            .enumerate()
+            .map(|(i, &u)| EventOrdering::new(u, i == leader_index))
+            .collect()
+    }
+
+    /// The assignments this node knows, as `(seq, event)` pairs in seq
+    /// order (holes omitted).
+    pub fn known_assignments(&self) -> Vec<Assignment> {
+        self.known
+            .iter()
+            .enumerate()
+            .filter(|(_, &e)| e != u64::MAX)
+            .map(|(s, &e)| Assignment { seq: s as u32, event: e })
+            .collect()
+    }
+
+    /// Number of assignments known (holes excluded).
+    pub fn known_count(&self) -> usize {
+        self.known.iter().filter(|&&e| e != u64::MAX).count()
+    }
+
+    /// Record an assignment into the local table and stop relaying the
+    /// event as unassigned.
+    fn learn(&mut self, a: Assignment) {
+        let idx = a.seq as usize;
+        if self.known.len() <= idx {
+            self.known.resize(idx + 1, u64::MAX);
+        }
+        debug_assert!(
+            self.known[idx] == u64::MAX || self.known[idx] == a.event,
+            "conflicting assignment for seq {}",
+            a.seq
+        );
+        self.known[idx] = a.event;
+        self.pending.retain(|&e| e != a.event);
+    }
+
+    /// Add an event to the relay pool unless already assigned or pooled.
+    fn relay(&mut self, event: u64) {
+        if self.known.iter().any(|&e| e == event) || self.pending.contains(&event) {
+            return;
+        }
+        self.pending.push(event);
+    }
+
+    /// Sequencer-side: assign the next number to `event` if it is new.
+    fn assign(&mut self, event: u64) {
+        debug_assert!(self.is_sequencer);
+        if self.known.iter().any(|&e| e == event) {
+            return;
+        }
+        let a = Assignment { seq: self.next_seq, event };
+        self.next_seq += 1;
+        self.learn(a);
+    }
+}
+
+impl Protocol for EventOrdering {
+    type Payload = OrderingMsg;
+
+    fn advertise(&mut self, local_round: u64, _rng: &mut SmallRng) -> Tag {
+        // The sequencer registers its own event at the start (seq 0).
+        if self.is_sequencer && local_round == 1 {
+            let own = self.uid;
+            self.assign(own);
+        }
+        Tag::EMPTY
+    }
+
+    fn act(&mut self, scan: &Scan<'_>, rng: &mut SmallRng) -> Action {
+        if scan.is_empty() || !rng.gen_bool(0.5) {
+            return Action::Listen;
+        }
+        let i = rng.gen_range(0..scan.len());
+        Action::Propose(scan.neighbors[i])
+    }
+
+    fn payload(&self) -> OrderingMsg {
+        let share = if self.known.is_empty() {
+            None
+        } else {
+            // Rotate through known slots, skipping holes (best effort: scan
+            // forward from the cursor once around).
+            let len = self.known.len();
+            (0..len)
+                .map(|off| (self.cursor + off) % len)
+                .find(|&idx| self.known[idx] != u64::MAX)
+                .map(|idx| Assignment { seq: idx as u32, event: self.known[idx] })
+        };
+        let unassigned = if self.pending.is_empty() {
+            None
+        } else {
+            Some(self.pending[self.pending_cursor % self.pending.len()])
+        };
+        OrderingMsg { unassigned, share }
+    }
+
+    fn on_connect(&mut self, peer: &OrderingMsg, _rng: &mut SmallRng) {
+        if let Some(a) = peer.share {
+            self.learn(a);
+        }
+        if let Some(event) = peer.unassigned {
+            if self.is_sequencer {
+                self.assign(event);
+            } else {
+                self.relay(event);
+            }
+        }
+    }
+
+    fn end_round(&mut self, _local_round: u64, _rng: &mut SmallRng) {
+        if !self.known.is_empty() {
+            self.cursor = (self.cursor + 1) % self.known.len();
+        }
+        if !self.pending.is_empty() {
+            self.pending_cursor = (self.pending_cursor + 1) % self.pending.len();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtm_engine::{ActivationSchedule, Engine, ModelParams};
+    use mtm_graph::{gen, StaticTopology};
+
+    fn run_ordering(n: usize, seed: u64) -> Engine<EventOrdering, StaticTopology> {
+        let uids: Vec<u64> = (0..n as u64).map(|i| i * 13 + 7).collect();
+        let g = gen::random_regular(n, 4, seed);
+        let mut params = ModelParams::mobile(0);
+        params.max_payload_bits = 64;
+        let mut e = Engine::new(
+            StaticTopology::new(g),
+            params,
+            ActivationSchedule::synchronized(n),
+            EventOrdering::spawn(&uids, 0),
+            seed,
+        );
+        let done = e.run_until(5_000_000, |e| {
+            e.nodes().iter().all(|p| p.known_count() == n)
+        });
+        assert!(done.is_some(), "ordering must disseminate fully");
+        e
+    }
+
+    #[test]
+    fn all_nodes_learn_identical_total_order() {
+        let e = run_ordering(16, 3);
+        let reference = e.node(0).known_assignments();
+        assert_eq!(reference.len(), 16);
+        for u in 1..16 {
+            assert_eq!(e.node(u).known_assignments(), reference, "node {u} diverged");
+        }
+    }
+
+    #[test]
+    fn sequence_numbers_are_dense_and_unique() {
+        let e = run_ordering(12, 4);
+        let assignments = e.node(5).known_assignments();
+        let mut seqs: Vec<u32> = assignments.iter().map(|a| a.seq).collect();
+        seqs.sort_unstable();
+        assert_eq!(seqs, (0..12).collect::<Vec<u32>>(), "non-dense sequence numbers");
+        let mut events: Vec<u64> = assignments.iter().map(|a| a.event).collect();
+        events.sort_unstable();
+        events.dedup();
+        assert_eq!(events.len(), 12, "duplicate event in the order");
+    }
+
+    #[test]
+    fn sequencer_owns_seq_zero() {
+        let e = run_ordering(10, 5);
+        let a0 = e.node(3).known_assignments()[0];
+        assert_eq!(a0.seq, 0);
+        assert_eq!(a0.event, 7, "sequencer's own event (uid 7) must be first");
+    }
+
+    #[test]
+    fn learn_is_idempotent_and_consistent() {
+        let mut node = EventOrdering::new(1, false);
+        node.learn(Assignment { seq: 2, event: 9 });
+        node.learn(Assignment { seq: 0, event: 5 });
+        node.learn(Assignment { seq: 2, event: 9 }); // repeat OK
+        assert_eq!(node.known_count(), 2);
+        let known = node.known_assignments();
+        assert_eq!(known[0], Assignment { seq: 0, event: 5 });
+        assert_eq!(known[1], Assignment { seq: 2, event: 9 });
+    }
+
+    #[test]
+    fn payload_respects_budget() {
+        let m = OrderingMsg {
+            unassigned: Some(3),
+            share: Some(Assignment { seq: 1, event: 2 }),
+        };
+        assert_eq!(m.uid_count(), 2);
+        assert_eq!(m.extra_bits(), 32);
+    }
+}

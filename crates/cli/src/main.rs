@@ -1,0 +1,471 @@
+//! `mtm` — command line driver for the mobile telephone model workspace.
+//!
+//! Subcommands:
+//!
+//! * `mtm experiment <id|all> [opts]` — run one (or every) reproduced
+//!   experiment (ids: t1 f1 t2 f2 t3 f3 t4 f4 t5 f5 t6 f6 f7 a1 a2 a3).
+//! * `mtm elect <algo> <family> <n> [opts]` — one leader election run
+//!   (`algo`: blind | bitconv | nonsync).
+//! * `mtm spread <algo> <family> <n> [opts]` — one rumor-spreading run
+//!   (`algo`: push-pull | ppush | classical).
+//! * `mtm graph <family> <n>` — print a family instance's statistics
+//!   (`--export PATH` writes edge-list or JSON).
+//! * `mtm trace <algo> <family> <n>` — one traced run, per-round CSV.
+//!
+//! `--graph-file PATH` substitutes a user topology for any `<family> <n>`.
+//!
+//! Common opts: `--seed N`, `--tau N` (relabeling churn; default static),
+//! `--quick/--full`, `--trials N`, `--threads N`, `--csv PATH`.
+
+use mtm_core::{
+    BitConvergence, BlindGossip, NonSyncBitConvergence, Ppush, PushPull, TagConfig, UidPool,
+};
+use mtm_engine::{ActivationSchedule, Engine, ModelParams};
+use mtm_experiments::ExpOpts;
+use mtm_graph::dynamic::{BoxedTopology, RelabelingAdversary, StaticTopology};
+use mtm_graph::GraphFamily;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("experiment") => cmd_experiment(&args[1..]),
+        Some("elect") => cmd_elect(&args[1..]),
+        Some("spread") => cmd_spread(&args[1..]),
+        Some("graph") => cmd_graph(&args[1..]),
+        Some("trace") => cmd_trace(&args[1..]),
+        Some("--help") | Some("-h") | None => {
+            usage();
+            0
+        }
+        Some(other) => {
+            eprintln!("unknown subcommand: {other}");
+            usage();
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+fn usage() {
+    eprintln!("usage:");
+    eprintln!("  mtm experiment <id|all> [--quick|--full] [--trials N] [--seed N] [--threads N] [--csv PATH]");
+    eprintln!("  mtm elect <blind|bitconv|nonsync> <family> <n> [--seed N] [--tau N]");
+    eprintln!("  mtm spread <push-pull|ppush|classical> <family> <n> [--seed N]");
+    eprintln!("  mtm graph <family> <n> [--seed N] [--export PATH]");
+    eprintln!("  mtm trace <blind|bitconv|nonsync> <family> <n> [--seed N] [--tau N] [--export CSV]");
+    eprintln!("  (anywhere a <family> <n> pair appears, `--graph-file PATH` loads an");
+    eprintln!("   edge-list or .json topology instead)");
+    eprintln!();
+    eprintln!("experiment ids: {}", mtm_experiments::ALL_IDS.join(" "));
+    eprintln!(
+        "families: {}",
+        GraphFamily::ALL.iter().map(|f| f.name()).collect::<Vec<_>>().join(" ")
+    );
+}
+
+fn cmd_experiment(args: &[String]) -> i32 {
+    let Some(id) = args.first() else {
+        eprintln!("experiment: missing id");
+        return 2;
+    };
+    let opts = match ExpOpts::parse(&args[1..]) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+    if id == "all" {
+        for id in mtm_experiments::ALL_IDS {
+            let table = mtm_experiments::run_by_id(id, &opts).expect("known id");
+            opts.emit(&id.to_uppercase(), "", &table);
+        }
+        return 0;
+    }
+    match mtm_experiments::run_by_id(id, &opts) {
+        Some(table) => {
+            opts.emit(&id.to_uppercase(), "", &table);
+            0
+        }
+        None => {
+            eprintln!(
+                "unknown experiment id: {id} (expected one of {:?})",
+                mtm_experiments::ALL_IDS
+            );
+            2
+        }
+    }
+}
+
+/// Where the topology comes from: a named family or a file.
+enum GraphSource {
+    Family(GraphFamily, usize),
+    File(String),
+}
+
+impl GraphSource {
+    fn build(&self, seed: u64) -> Result<mtm_graph::Graph, String> {
+        match self {
+            GraphSource::Family(f, n) => Ok(f.build(*n, seed)),
+            GraphSource::File(path) => {
+                let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+                if path.ends_with(".json") {
+                    mtm_graph::io::from_json(&text)
+                } else {
+                    mtm_graph::io::from_edge_list(&text).map_err(|e| e.to_string())
+                }
+            }
+        }
+    }
+
+    fn describe(&self) -> String {
+        match self {
+            GraphSource::Family(f, _) => f.name().to_string(),
+            GraphSource::File(p) => p.clone(),
+        }
+    }
+}
+
+/// Parsed `<family> <n>` (or `--graph-file PATH`) plus
+/// `--seed/--tau/--max-rounds` flags.
+struct RunArgs {
+    source: GraphSource,
+    seed: u64,
+    tau: Option<u64>,
+    max_rounds: u64,
+    export: Option<String>,
+}
+
+fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
+    let (source, mut i) = if args.first().map(String::as_str) == Some("--graph-file") {
+        let path = args.get(1).ok_or("--graph-file needs a path")?.clone();
+        (GraphSource::File(path), 2)
+    } else {
+        let family = args
+            .first()
+            .and_then(|s| GraphFamily::parse(s))
+            .ok_or_else(|| format!("expected a graph family or --graph-file, got {:?}", args.first()))?;
+        let n: usize =
+            args.get(1).ok_or("missing n")?.parse().map_err(|e| format!("n: {e}"))?;
+        (GraphSource::Family(family, n), 2)
+    };
+    let mut seed = 42u64;
+    let mut tau = None;
+    let mut max_rounds = 500_000_000;
+    let mut export = None;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seed" => {
+                i += 1;
+                seed = args
+                    .get(i)
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--tau" => {
+                i += 1;
+                tau = Some(
+                    args.get(i)
+                        .ok_or("--tau needs a value")?
+                        .parse()
+                        .map_err(|e| format!("--tau: {e}"))?,
+                );
+            }
+            "--max-rounds" => {
+                i += 1;
+                max_rounds = args
+                    .get(i)
+                    .ok_or("--max-rounds needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--max-rounds: {e}"))?;
+            }
+            "--export" => {
+                i += 1;
+                export = Some(args.get(i).ok_or("--export needs a path")?.clone());
+            }
+            other => return Err(format!("unknown flag: {other}")),
+        }
+        i += 1;
+    }
+    Ok(RunArgs { source, seed, tau, max_rounds, export })
+}
+
+fn build_topology(a: &RunArgs) -> Result<(BoxedTopology, usize, usize), String> {
+    let g = a.source.build(a.seed)?;
+    if !g.is_connected() {
+        return Err("topology must be connected".to_string());
+    }
+    let n = g.node_count();
+    let delta = g.max_degree();
+    let topo: BoxedTopology = match a.tau {
+        None => Box::new(StaticTopology::new(g)),
+        Some(t) => Box::new(RelabelingAdversary::new(g, t, a.seed ^ 0xAD)),
+    };
+    Ok((topo, n, delta))
+}
+
+fn cmd_elect(args: &[String]) -> i32 {
+    let Some(algo) = args.first().cloned() else {
+        eprintln!("elect: missing algorithm");
+        return 2;
+    };
+    let a = match parse_run_args(&args[1..]) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+    let (topo, n, delta) = match build_topology(&a) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+    let uids = UidPool::random(n, a.seed ^ 0x11D);
+    let sched = ActivationSchedule::synchronized(n);
+    println!(
+        "electing a leader: algo={algo} graph={} n={n} Δ={delta} τ={} seed={}",
+        a.source.describe(),
+        a.tau.map_or("∞".to_string(), |t| t.to_string()),
+        a.seed
+    );
+    let outcome = match algo.as_str() {
+        "blind" => {
+            let mut e =
+                Engine::new(topo, ModelParams::mobile(0), sched, BlindGossip::spawn(&uids), a.seed);
+            e.run_to_stabilization(a.max_rounds)
+        }
+        "bitconv" => {
+            let config = TagConfig::for_network(n, delta);
+            let nodes = BitConvergence::spawn(&uids, config, a.seed ^ 0x7A6);
+            let mut e = Engine::new(topo, ModelParams::mobile(1), sched, nodes, a.seed);
+            e.run_to_stabilization(a.max_rounds)
+        }
+        "nonsync" => {
+            let config = TagConfig::for_network(n, delta);
+            let nodes = NonSyncBitConvergence::spawn(&uids, config, a.seed ^ 0x7A6);
+            let mut e = Engine::new(
+                topo,
+                ModelParams::mobile(config.nonsync_tag_bits()),
+                sched,
+                nodes,
+                a.seed,
+            );
+            e.run_to_stabilization(a.max_rounds)
+        }
+        other => {
+            eprintln!("unknown algorithm: {other} (expected blind|bitconv|nonsync)");
+            return 2;
+        }
+    };
+    match outcome.stabilized_round {
+        Some(r) => {
+            println!(
+                "stabilized in {r} rounds; leader UID {:#x}; {} proposals, {} connections ({:.1}% success)",
+                outcome.winner.unwrap(),
+                outcome.metrics.proposals,
+                outcome.metrics.connections,
+                100.0 * outcome.metrics.proposal_success_rate()
+            );
+            0
+        }
+        None => {
+            println!("did not stabilize within {} rounds", a.max_rounds);
+            1
+        }
+    }
+}
+
+fn cmd_spread(args: &[String]) -> i32 {
+    let Some(algo) = args.first().cloned() else {
+        eprintln!("spread: missing algorithm");
+        return 2;
+    };
+    let a = match parse_run_args(&args[1..]) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+    let (topo, n, delta) = match build_topology(&a) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+    let sched = ActivationSchedule::synchronized(n);
+    println!(
+        "spreading a rumor: algo={algo} graph={} n={n} Δ={delta} seed={}",
+        a.source.describe(),
+        a.seed
+    );
+    let outcome = match algo.as_str() {
+        "push-pull" => {
+            let mut e =
+                Engine::new(topo, ModelParams::mobile(0), sched, PushPull::spawn(n, 1), a.seed);
+            e.run_to_full_information(a.max_rounds)
+        }
+        "classical" => {
+            let mut e =
+                Engine::new(topo, ModelParams::classical(), sched, PushPull::spawn(n, 1), a.seed);
+            e.run_to_full_information(a.max_rounds)
+        }
+        "ppush" => {
+            let mut e =
+                Engine::new(topo, ModelParams::mobile(1), sched, Ppush::spawn(n, 1), a.seed);
+            e.run_to_full_information(a.max_rounds)
+        }
+        other => {
+            eprintln!("unknown algorithm: {other} (expected push-pull|ppush|classical)");
+            return 2;
+        }
+    };
+    match outcome.stabilized_round {
+        Some(r) => {
+            println!(
+                "all {n} nodes informed after {r} rounds; {} connections",
+                outcome.metrics.connections
+            );
+            0
+        }
+        None => {
+            println!("rumor incomplete after {} rounds", a.max_rounds);
+            1
+        }
+    }
+}
+
+fn cmd_graph(args: &[String]) -> i32 {
+    let a = match parse_run_args(args) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+    let g = match a.source.build(a.seed) {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+    let n = g.node_count();
+    if let Some(path) = &a.export {
+        let text = if path.ends_with(".json") {
+            mtm_graph::io::to_json(&g)
+        } else {
+            mtm_graph::io::to_edge_list(&g)
+        };
+        if let Err(e) = std::fs::write(path, text) {
+            eprintln!("error: failed to write {path}: {e}");
+            return 1;
+        }
+        println!("exported to {path}");
+    }
+    println!("graph:       {}", a.source.describe());
+    println!("nodes:       {n}");
+    println!("edges:       {}", g.edge_count());
+    println!("max degree:  {}", g.max_degree());
+    println!("min degree:  {}", g.min_degree());
+    println!("connected:   {}", g.is_connected());
+    if let GraphSource::Family(family, _) = &a.source {
+        if let Some(alpha) = family.known_alpha(n) {
+            println!("α (analytic): {alpha:.6}");
+        }
+    }
+    if n <= 20 {
+        println!("α (exact):    {:.6}", mtm_graph::expansion::alpha_exact(&g));
+    } else {
+        println!(
+            "α (sampled ≤): {:.6}",
+            mtm_graph::expansion::alpha_upper_bound_sampled(&g, 30, a.seed)
+        );
+    }
+    if let Some(d) = g.diameter() {
+        println!("diameter:    {d}");
+    }
+    0
+}
+
+/// `mtm trace`: run one leader election with per-round tracing and dump a
+/// CSV of (round, active, proposals, connections) plus the connection log
+/// summary.
+fn cmd_trace(args: &[String]) -> i32 {
+    let Some(algo) = args.first().cloned() else {
+        eprintln!("trace: missing algorithm");
+        return 2;
+    };
+    let a = match parse_run_args(&args[1..]) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+    let (topo, n, delta) = match build_topology(&a) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+    let uids = UidPool::random(n, a.seed ^ 0x11D);
+    let sched = ActivationSchedule::synchronized(n);
+    macro_rules! run_traced {
+        ($params:expr, $nodes:expr) => {{
+            let mut e = Engine::new(topo, $params, sched, $nodes, a.seed);
+            e.enable_tracing();
+            e.enable_connection_log();
+            let out = e.run_to_stabilization(a.max_rounds);
+            let mut csv = String::from("round,active,proposals,connections\n");
+            for t in e.traces() {
+                csv.push_str(&format!("{},{},{},{}\n", t.round, t.active, t.proposals, t.connections));
+            }
+            (out, csv, e.connection_log().len())
+        }};
+    }
+    let (outcome, csv, logged) = match algo.as_str() {
+        "blind" => run_traced!(ModelParams::mobile(0), BlindGossip::spawn(&uids)),
+        "bitconv" => {
+            let config = TagConfig::for_network(n, delta);
+            run_traced!(ModelParams::mobile(1), BitConvergence::spawn(&uids, config, a.seed ^ 0x7A6))
+        }
+        "nonsync" => {
+            let config = TagConfig::for_network(n, delta);
+            run_traced!(
+                ModelParams::mobile(config.nonsync_tag_bits()),
+                NonSyncBitConvergence::spawn(&uids, config, a.seed ^ 0x7A6)
+            )
+        }
+        other => {
+            eprintln!("unknown algorithm: {other} (expected blind|bitconv|nonsync)");
+            return 2;
+        }
+    };
+    match &a.export {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &csv) {
+                eprintln!("error: failed to write {path}: {e}");
+                return 1;
+            }
+            println!("trace written to {path} ({} rows)", csv.lines().count() - 1);
+        }
+        None => print!("{csv}"),
+    }
+    match outcome.stabilized_round {
+        Some(r) => {
+            eprintln!("stabilized in {r} rounds ({logged} connections logged)");
+            0
+        }
+        None => {
+            eprintln!("did not stabilize within {} rounds", a.max_rounds);
+            1
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! UIDs and ID pairs.
+//!
+//! The leader election problem (Section IV) gives every node a unique id
+//! treated as an opaque comparable value. The bit-convergence algorithms
+//! additionally pair each UID with a random *ID tag* of `k = ⌈β·log₂ N⌉`
+//! bits (Section VII); pairs are ordered by tag first, breaking ties on the
+//! UID, and the eventual leader is the node holding the globally smallest
+//! pair.
+
+use mtm_engine::PayloadCost;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A `(UID, ID tag)` pair, ordered by `(tag, uid)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct IdPair {
+    /// The random `k`-bit ID tag (compared first).
+    pub tag: u64,
+    /// The node's UID (tie-breaker).
+    pub uid: u64,
+}
+
+impl IdPair {
+    /// Bit `i` of the tag, **most significant first** and 0-based: position
+    /// 0 is the top bit of the `k`-bit tag. This matches the paper's
+    /// convention `t[1] … t[k]` from most to least significant.
+    #[inline]
+    pub fn tag_bit(&self, i: u32, k: u32) -> u32 {
+        debug_assert!(i < k);
+        ((self.tag >> (k - 1 - i)) & 1) as u32
+    }
+}
+
+impl PayloadCost for IdPair {
+    fn uid_count(&self) -> u32 {
+        1
+    }
+    fn extra_bits(&self) -> u32 {
+        64 // the k-bit tag (k ≤ 63 enforced by TagConfig) — O(polylog N)
+    }
+}
+
+/// Deterministic pool of distinct UIDs for a trial.
+///
+/// UIDs are random 64-bit values (shuffled, then deduplicated against each
+/// other), so the minimum UID lands on a uniformly random node — no
+/// accidental correlation between node index, topology position, and
+/// leadership.
+#[derive(Clone, Debug)]
+pub struct UidPool {
+    uids: Vec<u64>,
+}
+
+impl UidPool {
+    /// `n` distinct random UIDs derived from `seed`.
+    pub fn random(n: usize, seed: u64) -> UidPool {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut set = std::collections::HashSet::with_capacity(n);
+        let mut uids = Vec::with_capacity(n);
+        while uids.len() < n {
+            let u: u64 = rng.gen();
+            if set.insert(u) {
+                uids.push(u);
+            }
+        }
+        UidPool { uids }
+    }
+
+    /// Sequential UIDs `0..n` (useful in tests where the winner must be a
+    /// known node).
+    pub fn sequential(n: usize) -> UidPool {
+        UidPool { uids: (0..n as u64).collect() }
+    }
+
+    /// UID of node `u`.
+    #[inline]
+    pub fn uid(&self, u: usize) -> u64 {
+        self.uids[u]
+    }
+
+    /// All UIDs in node order.
+    pub fn as_slice(&self) -> &[u64] {
+        &self.uids
+    }
+
+    /// The smallest UID in the pool (blind gossip's eventual winner).
+    pub fn min_uid(&self) -> u64 {
+        *self.uids.iter().min().expect("empty pool")
+    }
+
+    /// Node index holding the smallest UID.
+    pub fn min_uid_node(&self) -> usize {
+        self.uids
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &u)| u)
+            .map(|(i, _)| i)
+            .expect("empty pool")
+    }
+
+    /// Number of UIDs.
+    pub fn len(&self) -> usize {
+        self.uids.len()
+    }
+
+    /// True iff the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.uids.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_pair_orders_by_tag_then_uid() {
+        let a = IdPair { tag: 1, uid: 99 };
+        let b = IdPair { tag: 2, uid: 1 };
+        let c = IdPair { tag: 1, uid: 100 };
+        assert!(a < b, "smaller tag wins regardless of uid");
+        assert!(a < c, "uid breaks tag ties");
+        assert_eq!(a.min(b).min(c), a);
+    }
+
+    #[test]
+    fn tag_bit_msb_first() {
+        // k = 4, tag = 0b1010.
+        let p = IdPair { tag: 0b1010, uid: 0 };
+        assert_eq!(p.tag_bit(0, 4), 1);
+        assert_eq!(p.tag_bit(1, 4), 0);
+        assert_eq!(p.tag_bit(2, 4), 1);
+        assert_eq!(p.tag_bit(3, 4), 0);
+    }
+
+    #[test]
+    fn uid_pool_distinct_and_deterministic() {
+        let a = UidPool::random(100, 5);
+        let b = UidPool::random(100, 5);
+        assert_eq!(a.as_slice(), b.as_slice());
+        let mut sorted = a.as_slice().to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 100);
+    }
+
+    #[test]
+    fn uid_pool_min_tracking() {
+        let p = UidPool::sequential(10);
+        assert_eq!(p.min_uid(), 0);
+        assert_eq!(p.min_uid_node(), 0);
+        let r = UidPool::random(50, 9);
+        let node = r.min_uid_node();
+        assert_eq!(r.uid(node), r.min_uid());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = UidPool::random(10, 1);
+        let b = UidPool::random(10, 2);
+        assert_ne!(a.as_slice(), b.as_slice());
+    }
+}

@@ -1,0 +1,136 @@
+//! Property tests for protocol-level invariants.
+
+use mtm_core::config::{ceil_log2, TagConfig};
+use mtm_core::{BitConvergence, IdPair, NonSyncBitConvergence, UidPool};
+use mtm_engine::{Protocol, Tag};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn id_pair_ordering_is_total_and_lexicographic(
+        a_tag in any::<u64>(), a_uid in any::<u64>(),
+        b_tag in any::<u64>(), b_uid in any::<u64>(),
+    ) {
+        let a = IdPair { tag: a_tag, uid: a_uid };
+        let b = IdPair { tag: b_tag, uid: b_uid };
+        // Lexicographic law.
+        if a_tag != b_tag {
+            prop_assert_eq!(a < b, a_tag < b_tag);
+        } else {
+            prop_assert_eq!(a < b, a_uid < b_uid);
+        }
+        // min is commutative and idempotent.
+        prop_assert_eq!(a.min(b), b.min(a));
+        prop_assert_eq!(a.min(a), a);
+    }
+
+    #[test]
+    fn tag_bit_reconstructs_tag(tag in 0u64..(1 << 16), k in 16u32..20) {
+        let p = IdPair { tag, uid: 0 };
+        let mut rebuilt = 0u64;
+        for i in 0..k {
+            rebuilt = (rebuilt << 1) | p.tag_bit(i, k) as u64;
+        }
+        prop_assert_eq!(rebuilt, tag, "MSB-first bits must reconstruct the tag");
+    }
+
+    #[test]
+    fn ceil_log2_is_inverse_of_pow2(x in 1usize..100_000) {
+        let k = ceil_log2(x);
+        prop_assert!(1usize << k >= x);
+        if k > 0 {
+            prop_assert!(1usize << (k - 1) < x);
+        }
+    }
+
+    #[test]
+    fn tag_config_round_partition_is_consistent(
+        k in 1u32..40,
+        group_len in 2u64..20,
+        round in 1u64..10_000,
+    ) {
+        let c = TagConfig { k, group_len };
+        let group = c.group_of_round(round);
+        prop_assert!(group < k, "group index out of range");
+        // Phase starts are also group starts.
+        if c.is_phase_start(round) {
+            prop_assert!(c.is_group_start(round));
+            prop_assert_eq!(c.group_of_round(round), 0);
+        }
+        // Within a group the index is constant.
+        if !c.is_group_start(round + 1) {
+            prop_assert_eq!(c.group_of_round(round + 1), group);
+        }
+    }
+
+    #[test]
+    fn uid_pool_always_distinct(n in 1usize..200, seed in any::<u64>()) {
+        let pool = UidPool::random(n, seed);
+        let mut v = pool.as_slice().to_vec();
+        v.sort_unstable();
+        v.dedup();
+        prop_assert_eq!(v.len(), n);
+        prop_assert_eq!(pool.uid(pool.min_uid_node()), pool.min_uid());
+    }
+
+    #[test]
+    fn bit_convergence_advertises_bits_of_active_tag(
+        tag in 0u64..(1 << 12),
+        seed in any::<u64>(),
+    ) {
+        let config = TagConfig { k: 12, group_len: 3 };
+        let mut node = BitConvergence::new(1, tag, config);
+        let mut rng = mtm_graph::rng::stream_rng(seed, 0);
+        // Over one full phase, the advertised bit sequence must spell the
+        // tag MSB-first, each bit repeated group_len times.
+        let mut bits = Vec::new();
+        for r in 1..=config.phase_len() {
+            let t = node.advertise(r, &mut rng);
+            prop_assert!(t == Tag(0) || t == Tag(1));
+            bits.push(t.0 as u64);
+        }
+        for (i, chunk) in bits.chunks(config.group_len as usize).enumerate() {
+            let expect = (tag >> (config.k - 1 - i as u32)) & 1;
+            prop_assert!(chunk.iter().all(|&b| b == expect),
+                "group {} advertised {:?}, tag bit is {}", i, chunk, expect);
+        }
+    }
+
+    #[test]
+    fn nonsync_tag_always_fits_budget(
+        tag in 0u64..(1 << 10),
+        seed in any::<u64>(),
+        rounds in 1u64..100,
+    ) {
+        let config = TagConfig { k: 10, group_len: 4 };
+        let b = config.nonsync_tag_bits();
+        let mut node = NonSyncBitConvergence::new(1, tag, config);
+        let mut rng = mtm_graph::rng::stream_rng(seed, 1);
+        for r in 1..=rounds {
+            let t = node.advertise(r, &mut rng);
+            prop_assert!(t.fits(b), "tag {:?} exceeds b = {}", t, b);
+            let (pos, bit) = NonSyncBitConvergence::decode(t);
+            prop_assert!(pos < config.k);
+            prop_assert!(bit <= 1);
+        }
+    }
+
+    #[test]
+    fn pending_pair_is_min_of_received(
+        tags in proptest::collection::vec(0u64..(1 << 10), 1..20),
+        seed in any::<u64>(),
+    ) {
+        let config = TagConfig { k: 10, group_len: 2 };
+        let mut node = BitConvergence::new(999, (1 << 10) - 1, config);
+        let mut rng = mtm_graph::rng::stream_rng(seed, 2);
+        let mut expect = node.pending_pair();
+        for (i, &t) in tags.iter().enumerate() {
+            let pair = IdPair { tag: t, uid: i as u64 };
+            node.on_connect(&pair, &mut rng);
+            expect = expect.min(pair);
+        }
+        prop_assert_eq!(node.pending_pair(), expect);
+    }
+}

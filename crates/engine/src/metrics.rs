@@ -1,0 +1,58 @@
+//! Execution metrics and optional per-round tracing.
+
+use serde::{Deserialize, Serialize};
+
+/// Aggregate counters over an execution.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Metrics {
+    /// Rounds executed.
+    pub rounds: u64,
+    /// Connection proposals sent.
+    pub proposals: u64,
+    /// Connections successfully formed (each counts one node pair).
+    pub connections: u64,
+    /// Proposals that were lost (sent to a node that itself proposed, or
+    /// not selected by the receiver under the single-accept policy).
+    pub rejected_proposals: u64,
+}
+
+impl Metrics {
+    /// Fraction of proposals that resulted in a connection.
+    pub fn proposal_success_rate(&self) -> f64 {
+        if self.proposals == 0 {
+            0.0
+        } else {
+            self.connections as f64 / self.proposals as f64
+        }
+    }
+}
+
+/// Per-round trace entry (enabled with [`crate::Engine::enable_tracing`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RoundTrace {
+    /// Round number (1-based).
+    pub round: u64,
+    /// Active nodes this round.
+    pub active: u64,
+    /// Proposals sent this round.
+    pub proposals: u64,
+    /// Connections formed this round.
+    pub connections: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn success_rate_handles_zero() {
+        let m = Metrics::default();
+        assert_eq!(m.proposal_success_rate(), 0.0);
+    }
+
+    #[test]
+    fn success_rate_ratio() {
+        let m = Metrics { rounds: 1, proposals: 10, connections: 4, rejected_proposals: 6 };
+        assert!((m.proposal_success_rate() - 0.4).abs() < 1e-12);
+    }
+}

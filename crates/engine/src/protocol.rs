@@ -1,0 +1,146 @@
+//! The [`Protocol`] trait: what a distributed algorithm looks like to the
+//! round executor.
+//!
+//! One `Protocol` value is the local state of one node. The engine drives
+//! all nodes through the per-round phases described in the crate docs; all
+//! randomness flows through the per-node RNG the engine passes in, which
+//! keeps trials deterministic and lets the analysis-style independence
+//! arguments (every node flips its own coins) hold by construction.
+
+use mtm_graph::NodeId;
+use rand::rngs::SmallRng;
+
+use crate::model::Tag;
+
+/// What a node sees after scanning in a round: its *active* neighbors and
+/// their advertised tags, plus round counters.
+pub struct Scan<'a> {
+    /// Active neighbors in this round's topology, ascending id order.
+    /// Inactive (not-yet-activated) nodes are invisible, matching §VIII's
+    /// activation semantics.
+    pub neighbors: &'a [NodeId],
+    /// `tags[i]` is the tag advertised by `neighbors[i]` this round. Empty
+    /// slice when the model has `b = 0`.
+    pub tags: &'a [Tag],
+    /// Global engine round, 1-based. Only protocols that assume
+    /// synchronized starts may key behaviour on this.
+    pub round: u64,
+    /// Rounds since this node activated, 1-based: the only counter
+    /// available to asynchronous-activation protocols (§VIII).
+    pub local_round: u64,
+}
+
+impl<'a> Scan<'a> {
+    /// Tag of the `i`-th visible neighbor ([`Tag::EMPTY`] when `b = 0`).
+    #[inline]
+    pub fn tag_of(&self, i: usize) -> Tag {
+        if self.tags.is_empty() {
+            Tag::EMPTY
+        } else {
+            self.tags[i]
+        }
+    }
+
+    /// Number of visible neighbors.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// True iff no neighbor is visible.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.neighbors.is_empty()
+    }
+}
+
+/// A node's decision after scanning.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Action {
+    /// Send a connection proposal to this neighbor (must be visible in the
+    /// scan). The node forfeits its ability to receive this round.
+    Propose(NodeId),
+    /// Receive: accept an incoming proposal per the model's policy.
+    Listen,
+}
+
+/// Budget accounting for connection payloads. The engine debug-asserts each
+/// exchanged payload against [`crate::model::ModelParams`]'s budget,
+/// enforcing the problem statement's "O(1) UIDs and O(polylog N) additional
+/// bits per connection".
+pub trait PayloadCost {
+    /// Number of UIDs this payload carries.
+    fn uid_count(&self) -> u32;
+    /// Non-UID payload bits.
+    fn extra_bits(&self) -> u32;
+}
+
+/// The local algorithm run by each node.
+pub trait Protocol: Send {
+    /// Data exchanged over one connection (both directions symmetrically).
+    type Payload: Clone + PayloadCost;
+
+    /// Phase 1: choose this round's advertising tag. Must fit the model's
+    /// `b` bits (engine-enforced). `local_round` is 1-based.
+    fn advertise(&mut self, local_round: u64, rng: &mut SmallRng) -> Tag;
+
+    /// Phase 3: act on the scan — propose to one visible neighbor or
+    /// listen.
+    fn act(&mut self, scan: &Scan<'_>, rng: &mut SmallRng) -> Action;
+
+    /// Phase 4a: produce the payload to send if a connection forms this
+    /// round. Called at most once per round, before any `on_connect`.
+    fn payload(&self) -> Self::Payload;
+
+    /// Phase 4b: receive the peer's payload over an established connection.
+    /// Under the classical policy a node may receive several of these in
+    /// one round.
+    fn on_connect(&mut self, peer: &Self::Payload, rng: &mut SmallRng);
+
+    /// Phase 5: end-of-round bookkeeping (e.g. bit-convergence nodes adopt
+    /// pending ID pairs at phase boundaries). Default: nothing.
+    fn end_round(&mut self, _local_round: u64, _rng: &mut SmallRng) {}
+}
+
+/// Read access to a leader-election protocol's current `leader` variable.
+///
+/// The leader election problem (Section IV): every node maintains `leader`
+/// (initially its own UID); the system is *stabilized* once every node's
+/// `leader` holds the same UID forever after.
+pub trait LeaderView {
+    /// The UID currently stored in this node's `leader` variable.
+    fn leader(&self) -> u64;
+
+    /// This node's own UID.
+    fn uid(&self) -> u64;
+}
+
+/// Read access to a rumor-spreading protocol's informed flag.
+pub trait RumorView {
+    /// True iff this node knows the rumor.
+    fn informed(&self) -> bool;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scan_tag_of_handles_b0() {
+        let neighbors = [1u32, 2, 3];
+        let scan = Scan { neighbors: &neighbors, tags: &[], round: 1, local_round: 1 };
+        assert_eq!(scan.tag_of(0), Tag::EMPTY);
+        assert_eq!(scan.tag_of(2), Tag::EMPTY);
+        assert_eq!(scan.len(), 3);
+        assert!(!scan.is_empty());
+    }
+
+    #[test]
+    fn scan_tag_of_indexes_parallel_slice() {
+        let neighbors = [5u32, 9];
+        let tags = [Tag(1), Tag(0)];
+        let scan = Scan { neighbors: &neighbors, tags: &tags, round: 3, local_round: 2 };
+        assert_eq!(scan.tag_of(0), Tag(1));
+        assert_eq!(scan.tag_of(1), Tag(0));
+    }
+}

@@ -1,0 +1,146 @@
+//! Property tests for the round executor and its supporting types.
+
+use mtm_engine::runner::run_trials;
+use mtm_engine::{ActivationSchedule, Engine, ModelParams, PayloadCost, Protocol, Scan, Tag};
+use mtm_graph::{gen, StaticTopology};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// A minimal min-spreading protocol used to exercise engine mechanics.
+#[derive(Clone)]
+struct Spread {
+    best: u64,
+}
+
+#[derive(Clone)]
+struct Val(u64);
+impl PayloadCost for Val {
+    fn uid_count(&self) -> u32 {
+        1
+    }
+    fn extra_bits(&self) -> u32 {
+        0
+    }
+}
+
+impl Protocol for Spread {
+    type Payload = Val;
+    fn advertise(&mut self, _l: u64, _r: &mut SmallRng) -> Tag {
+        Tag::EMPTY
+    }
+    fn act(&mut self, scan: &Scan<'_>, rng: &mut SmallRng) -> mtm_engine::Action {
+        if scan.is_empty() || !rng.gen_bool(0.5) {
+            return mtm_engine::Action::Listen;
+        }
+        mtm_engine::Action::Propose(scan.neighbors[rng.gen_range(0..scan.len())])
+    }
+    fn payload(&self) -> Val {
+        Val(self.best)
+    }
+    fn on_connect(&mut self, peer: &Val, _r: &mut SmallRng) {
+        self.best = self.best.min(peer.0);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn engine_deterministic_for_any_seed(seed in any::<u64>()) {
+        let run = |seed: u64| {
+            let n = 12;
+            let nodes: Vec<Spread> = (0..n as u64).map(|u| Spread { best: u + 7 }).collect();
+            let mut e = Engine::new(
+                StaticTopology::new(gen::random_regular(n, 3, 5)),
+                ModelParams::mobile(0),
+                ActivationSchedule::synchronized(n),
+                nodes,
+                seed,
+            );
+            e.run_rounds(150);
+            (e.metrics(), e.nodes().iter().map(|p| p.best).collect::<Vec<_>>())
+        };
+        prop_assert_eq!(run(seed), run(seed));
+    }
+
+    #[test]
+    fn conservation_under_arbitrary_activation(
+        seed in any::<u64>(),
+        activations in proptest::collection::vec(1u64..60, 10),
+    ) {
+        let n = activations.len();
+        let nodes: Vec<Spread> = (0..n as u64).map(|u| Spread { best: u }).collect();
+        let mut e = Engine::new(
+            StaticTopology::new(gen::clique(n)),
+            ModelParams::mobile(0),
+            ActivationSchedule::explicit(activations.clone()),
+            nodes,
+            seed,
+        );
+        e.enable_tracing();
+        e.enable_connection_log();
+        e.run_rounds(80);
+        let m = e.metrics();
+        prop_assert_eq!(m.proposals, m.connections + m.rejected_proposals);
+        prop_assert_eq!(e.connection_log().len() as u64, m.connections);
+        // No connection may involve a node before its activation round.
+        for &(round, u, v) in e.connection_log() {
+            prop_assert!(round >= activations[u as usize]);
+            prop_assert!(round >= activations[v as usize]);
+        }
+        // Traced active counts are non-decreasing (activations only).
+        let actives: Vec<u64> = e.traces().iter().map(|t| t.active).collect();
+        prop_assert!(actives.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn min_never_lost_nor_invented(seed in any::<u64>()) {
+        let n = 10;
+        let nodes: Vec<Spread> = (0..n as u64).map(|u| Spread { best: u * 13 + 3 }).collect();
+        let initial_min = 3u64;
+        let mut e = Engine::new(
+            StaticTopology::new(gen::cycle(n)),
+            ModelParams::mobile(0),
+            ActivationSchedule::synchronized(n),
+            nodes,
+            seed,
+        );
+        for _ in 0..200 {
+            e.step();
+            let values: Vec<u64> = e.nodes().iter().map(|p| p.best).collect();
+            prop_assert_eq!(*values.iter().min().unwrap(), initial_min,
+                "global min must be preserved");
+            for &v in &values {
+                prop_assert_eq!((v - 3) % 13, 0, "invented value {}", v);
+            }
+        }
+    }
+
+    #[test]
+    fn trial_runner_order_and_determinism(
+        trials in 0usize..24,
+        threads in 1usize..5,
+        base_seed in any::<u64>(),
+    ) {
+        let f = |t: usize, seed: u64| (t, seed.wrapping_mul(3));
+        let a = run_trials(trials, base_seed, threads, f);
+        let b = run_trials(trials, base_seed, 1, f);
+        prop_assert_eq!(a.len(), trials);
+        prop_assert_eq!(a, b, "results must not depend on thread count");
+    }
+
+    #[test]
+    fn activation_schedule_local_rounds_consistent(
+        rounds in proptest::collection::vec(1u64..50, 1..20),
+        probe in 50u64..100,
+    ) {
+        let sched = ActivationSchedule::explicit(rounds.clone());
+        for (u, &act) in rounds.iter().enumerate() {
+            prop_assert!(sched.is_active(u, probe));
+            prop_assert_eq!(sched.local_round(u, probe), probe - act + 1);
+            prop_assert!(!sched.is_active(u, act - 1) || act == 1);
+        }
+        prop_assert_eq!(sched.last_activation(), *rounds.iter().max().unwrap());
+    }
+}

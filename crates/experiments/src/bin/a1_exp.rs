@@ -1,0 +1,7 @@
+//! Harness binary for experiment A1: Ablation — ID tag length multiplier beta.
+
+fn main() {
+    let opts = mtm_experiments::ExpOpts::from_env();
+    let table = mtm_experiments::exp_a1::run(&opts);
+    opts.emit("A1", "Ablation — ID tag length multiplier beta", &table);
+}

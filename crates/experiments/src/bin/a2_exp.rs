@@ -1,0 +1,7 @@
+//! Harness binary for experiment A2: Ablation — group length multiplier.
+
+fn main() {
+    let opts = mtm_experiments::ExpOpts::from_env();
+    let table = mtm_experiments::exp_a2::run(&opts);
+    opts.emit("A2", "Ablation — group length multiplier", &table);
+}

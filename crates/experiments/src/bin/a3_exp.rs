@@ -1,0 +1,7 @@
+//! Harness binary for experiment A3: Ablation — PUSH-PULL vs PUSH-only vs PULL-only.
+
+fn main() {
+    let opts = mtm_experiments::ExpOpts::from_env();
+    let table = mtm_experiments::exp_a3::run(&opts);
+    opts.emit("A3", "Ablation — PUSH-PULL vs PUSH-only vs PULL-only", &table);
+}

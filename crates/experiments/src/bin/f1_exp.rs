@@ -1,0 +1,7 @@
+//! Harness binary for experiment F1: Sec VI — Omega(D^2/sqrt(a)) lower bound on the line of stars.
+
+fn main() {
+    let opts = mtm_experiments::ExpOpts::from_env();
+    let table = mtm_experiments::exp_f1::run(&opts);
+    opts.emit("F1", "Sec VI — Omega(D^2/sqrt(a)) lower bound on the line of stars", &table);
+}

@@ -1,0 +1,7 @@
+//! Harness binary for experiment F2: Theorem VII.2 — tau sweep, bit convergence vs blind gossip.
+
+fn main() {
+    let opts = mtm_experiments::ExpOpts::from_env();
+    let table = mtm_experiments::exp_f2::run(&opts);
+    opts.emit("F2", "Theorem VII.2 — tau sweep, bit convergence vs blind gossip", &table);
+}

@@ -1,0 +1,7 @@
+//! Harness binary for experiment F3: Sec VI vs VII — b=0 vs b=1 separation.
+
+fn main() {
+    let opts = mtm_experiments::ExpOpts::from_env();
+    let table = mtm_experiments::exp_f3::run(&opts);
+    opts.emit("F3", "Sec VI vs VII — b=0 vs b=1 separation", &table);
+}

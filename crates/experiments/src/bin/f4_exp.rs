@@ -1,0 +1,7 @@
+//! Harness binary for experiment F4: Sec VIII — self-stabilization on component joins.
+
+fn main() {
+    let opts = mtm_experiments::ExpOpts::from_env();
+    let table = mtm_experiments::exp_f4::run(&opts);
+    opts.emit("F4", "Sec VIII — self-stabilization on component joins", &table);
+}

@@ -1,0 +1,7 @@
+//! Harness binary for experiment F5: Theorem V.2 — PPUSH matching approximation m/f(r).
+
+fn main() {
+    let opts = mtm_experiments::ExpOpts::from_env();
+    let table = mtm_experiments::exp_f5::run(&opts);
+    opts.emit("F5", "Theorem V.2 — PPUSH matching approximation m/f(r)", &table);
+}

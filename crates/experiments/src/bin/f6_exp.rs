@@ -1,0 +1,7 @@
+//! Harness binary for experiment F6: Related work — mobile vs classical telephone model gap.
+
+fn main() {
+    let opts = mtm_experiments::ExpOpts::from_env();
+    let table = mtm_experiments::exp_f6::run(&opts);
+    opts.emit("F6", "Related work — mobile vs classical telephone model gap", &table);
+}

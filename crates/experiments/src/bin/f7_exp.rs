@@ -1,0 +1,8 @@
+//! Harness binary for experiment F7: convergence trajectories for the
+//! three leader election algorithms.
+
+fn main() {
+    let opts = mtm_experiments::ExpOpts::from_env();
+    let table = mtm_experiments::exp_f7::run(&opts);
+    opts.emit("F7", "Convergence trajectories (fraction agreeing on the winner)", &table);
+}

@@ -1,0 +1,7 @@
+//! Harness binary for experiment T2: Corollary VI.6 — PUSH-PULL rumor spreading, b=0.
+
+fn main() {
+    let opts = mtm_experiments::ExpOpts::from_env();
+    let table = mtm_experiments::exp_t2::run(&opts);
+    opts.emit("T2", "Corollary VI.6 — PUSH-PULL rumor spreading, b=0", &table);
+}

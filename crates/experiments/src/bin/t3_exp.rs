@@ -1,0 +1,7 @@
+//! Harness binary for experiment T3: Theorem VII.2 — polylog rounds for tau >= log D, a = O(1).
+
+fn main() {
+    let opts = mtm_experiments::ExpOpts::from_env();
+    let table = mtm_experiments::exp_t3::run(&opts);
+    opts.emit("T3", "Theorem VII.2 — polylog rounds for tau >= log D, a = O(1)", &table);
+}

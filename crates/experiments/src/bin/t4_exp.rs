@@ -1,0 +1,7 @@
+//! Harness binary for experiment T4: Theorem VIII.2 — non-synchronized vs synchronized bit convergence.
+
+fn main() {
+    let opts = mtm_experiments::ExpOpts::from_env();
+    let table = mtm_experiments::exp_t4::run(&opts);
+    opts.emit("T4", "Theorem VIII.2 — non-synchronized vs synchronized bit convergence", &table);
+}

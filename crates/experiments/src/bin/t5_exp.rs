@@ -1,0 +1,7 @@
+//! Harness binary for experiment T5: Lemma V.1 — gamma >= alpha/4.
+
+fn main() {
+    let opts = mtm_experiments::ExpOpts::from_env();
+    let table = mtm_experiments::exp_t5::run(&opts);
+    opts.emit("T5", "Lemma V.1 — gamma >= alpha/4", &table);
+}

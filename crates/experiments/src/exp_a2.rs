@@ -1,0 +1,87 @@
+//! **A2 — ablation: group length multiplier** (design choice in §VII).
+//!
+//! Bit convergence uses groups of `2·log Δ` rounds. The `2×` guarantees
+//! a stretch of `τ̂ = min{τ, log Δ}` *stable* rounds inside every group
+//! even when a topology change lands mid-group, and gives PPUSH `log Δ`
+//! rounds to realize a good fraction of the cut matching (Theorem V.2 is
+//! strongest at `r = log Δ`). Shorter groups make phases cheaper but each
+//! group realizes less of the matching; longer groups waste rounds after
+//! the matching is exhausted. The sweep shows the trade-off around the
+//! paper's choice `m = 2`.
+
+use mtm_analysis::table::{fmt_f64, Table};
+use mtm_core::config::ceil_log2;
+use mtm_core::{BitConvergence, TagConfig, UidPool};
+use mtm_engine::runner::run_trials;
+use mtm_engine::{ActivationSchedule, Engine, ModelParams};
+use mtm_graph::dynamic::LineOfStarsShuffle;
+use mtm_graph::rng::derive_seed;
+
+use crate::harness::summarize;
+use crate::opts::{ExpOpts, Scale};
+
+/// One trial with group length `m·⌈log₂ Δ⌉` under `τ = 1` leaf-shuffle
+/// churn (the regime the 2× slack exists for).
+fn trial(s: usize, mult: u64, seed: u64, max_rounds: u64) -> Option<u64> {
+    let topo = LineOfStarsShuffle::new(s, s, 1, derive_seed(seed, 1));
+    let g = mtm_graph::gen::line_of_stars(s, s);
+    let n = g.node_count();
+    let log_delta = ceil_log2(g.max_degree().max(2)) as u64;
+    let mut config = TagConfig::for_network(n, g.max_degree());
+    config.group_len = (mult * log_delta).max(1);
+    let uids = UidPool::random(n, derive_seed(seed, 10));
+    let nodes = BitConvergence::spawn(&uids, config, derive_seed(seed, 12));
+    let mut e = Engine::new(
+        topo,
+        ModelParams::mobile(1),
+        ActivationSchedule::synchronized(n),
+        nodes,
+        derive_seed(seed, 11),
+    );
+    e.run_to_stabilization(max_rounds).stabilized_round
+}
+
+/// Run the experiment, returning the result table.
+pub fn run(opts: &ExpOpts) -> Table {
+    let (s, mults, trials, max_rounds): (usize, &[u64], usize, u64) = match opts.scale {
+        Scale::Quick => (4, &[1, 2, 4], opts.trials_or(3), 50_000_000),
+        Scale::Full => (12, &[1, 2, 3, 4, 8], opts.trials_or(10), 500_000_000),
+    };
+    let g = mtm_graph::gen::line_of_stars(s, s);
+    let log_delta = ceil_log2(g.max_degree().max(2)) as u64;
+    let mut table = Table::new(vec![
+        "group multiplier m", "group len (rounds)", "trials", "mean rounds", "median", "timeouts",
+    ]);
+    for &m in mults {
+        let results: Vec<Option<u64>> =
+            run_trials(trials, opts.seed, opts.threads, move |_t, seed| {
+                trial(s, m, seed, max_rounds)
+            });
+        let ts = summarize(&results);
+        table.push_row(vec![
+            m.to_string(),
+            (m * log_delta).to_string(),
+            trials.to_string(),
+            ts.summary.as_ref().map_or("-".into(), |x| fmt_f64(x.mean)),
+            ts.summary.as_ref().map_or("-".into(), |x| fmt_f64(x.median)),
+            ts.timeouts.to_string(),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_shape() {
+        let mut opts = ExpOpts::quick();
+        opts.trials = 2;
+        let t = run(&opts);
+        assert_eq!(t.len(), 3);
+        for row in t.rows() {
+            assert_eq!(row[5], "0", "m = {} timed out", row[0]);
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! **F1 — §VI analysis optimality**: on the line-of-stars network (a line
+//! of `√n` stars of `√n` points, smallest UID at the first star's center),
+//! blind gossip needs `Ω(Δ²·√n) = Ω(Δ²/√α)` rounds.
+//!
+//! Sweep: star count `s` (so `n = s + s²`, `Δ ≈ s + 2`), measuring
+//! stabilization rounds. The `Δ²·√n ≈ n^1.5` shape predicts a log–log slope
+//! of ≈ 1.5 for rounds vs `n`; we report the fitted slope as the headline
+//! number. A final row records the fit.
+
+use mtm_analysis::fit::log_log_fit;
+use mtm_analysis::table::{fmt_f64, Table};
+
+use crate::harness::{blind_gossip_rounds, summarize, TopoSpec};
+use crate::opts::{ExpOpts, Scale};
+
+/// Run the experiment, returning the result table.
+pub fn run(opts: &ExpOpts) -> Table {
+    let (stars, trials, max_rounds): (&[usize], usize, u64) = match opts.scale {
+        Scale::Quick => (&[3, 4, 6], opts.trials_or(3), 5_000_000),
+        Scale::Full => (&[4, 6, 8, 11, 16, 22], opts.trials_or(10), 100_000_000),
+    };
+    let mut table = Table::new(vec![
+        "stars", "n", "Δ", "trials", "mean", "median", "Δ²·√n", "mean/(Δ²√n)",
+    ]);
+    let mut points = Vec::new();
+    for &s in stars {
+        let spec = TopoSpec::Static { family: mtm_graph::GraphFamily::LineOfStars, n: s + s * s };
+        // Build directly so the spine/points split is exact.
+        let g = mtm_graph::gen::line_of_stars(s, s);
+        let n = g.node_count();
+        let delta = g.max_degree();
+        let results = blind_gossip_rounds(&spec, trials, opts.seed, opts.threads, max_rounds);
+        let ts = summarize(&results);
+        let lower_shape = (delta as f64).powi(2) * (n as f64).sqrt();
+        if let Some(sum) = &ts.summary {
+            points.push((n as f64, sum.mean));
+            table.push_row(vec![
+                s.to_string(),
+                n.to_string(),
+                delta.to_string(),
+                trials.to_string(),
+                fmt_f64(sum.mean),
+                fmt_f64(sum.median),
+                fmt_f64(lower_shape),
+                fmt_f64(sum.mean / lower_shape),
+            ]);
+        } else {
+            table.push_row(vec![
+                s.to_string(),
+                n.to_string(),
+                delta.to_string(),
+                trials.to_string(),
+                "-".into(),
+                "-".into(),
+                fmt_f64(lower_shape),
+                "-".into(),
+            ]);
+        }
+    }
+    if points.len() >= 2 {
+        let fit = log_log_fit(&points);
+        table.push_row(vec![
+            "log-log fit".into(),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+            format!("slope={}", fmt_f64(fit.slope)),
+            format!("R²={}", fmt_f64(fit.r_squared)),
+            "expect ≈1.5".into(),
+            "-".into(),
+        ]);
+    }
+    table
+}
+
+/// Fitted log–log slope of rounds vs n (used by integration tests to check
+/// the super-linear growth the lower bound demands).
+pub fn fitted_slope(opts: &ExpOpts) -> f64 {
+    let (stars, trials, max_rounds): (&[usize], usize, u64) = match opts.scale {
+        Scale::Quick => (&[3, 5, 8], opts.trials_or(3), 10_000_000),
+        Scale::Full => (&[4, 8, 16], opts.trials_or(8), 100_000_000),
+    };
+    let mut points = Vec::new();
+    for &s in stars {
+        let spec = TopoSpec::Static { family: mtm_graph::GraphFamily::LineOfStars, n: s + s * s };
+        let results = blind_gossip_rounds(&spec, trials, opts.seed, opts.threads, max_rounds);
+        let ts = summarize(&results);
+        if let Some(sum) = ts.summary {
+            points.push(((s + s * s) as f64, sum.mean));
+        }
+    }
+    log_log_fit(&points).slope
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_shape() {
+        let mut opts = ExpOpts::quick();
+        opts.trials = 2;
+        let t = run(&opts);
+        // 3 sizes + fit row.
+        assert_eq!(t.len(), 4);
+        let last = &t.rows()[3];
+        assert!(last[4].starts_with("slope="));
+    }
+}

@@ -1,0 +1,99 @@
+//! **F3 — the `b = 0` vs `b = 1` separation**: the paper's headline
+//! qualitative result is the large complexity gap between zero advertising
+//! bits (blind gossip, `Θ(Δ²)` dependence) and a single bit (bit
+//! convergence, `Δ^(1/τ̂)·τ̂` dependence).
+//!
+//! Sweep: the line-of-stars family — blind gossip's worst case — with `n`
+//! growing, both algorithms on the *same* static topology. The reproduced
+//! claim: the blind/bitconv ratio grows with `n` (the gap widens as `Δ`
+//! grows), i.e. the separation is asymptotic, not a constant factor.
+
+use mtm_analysis::table::{fmt_f64, Table};
+
+use crate::harness::{bit_convergence_rounds, blind_gossip_rounds, summarize, TopoSpec};
+use crate::opts::{ExpOpts, Scale};
+
+/// Run the experiment, returning the result table.
+pub fn run(opts: &ExpOpts) -> Table {
+    let (stars, trials, max_rounds): (&[usize], usize, u64) = match opts.scale {
+        Scale::Quick => (&[3, 5], opts.trials_or(3), 10_000_000),
+        Scale::Full => (&[4, 6, 8, 11, 16, 20, 24], opts.trials_or(10), 200_000_000),
+    };
+    let mut table = Table::new(vec![
+        "stars", "n", "Δ", "blind b=0 (mean)", "bitconv b=1 (mean)", "ratio",
+    ]);
+    for &s in stars {
+        let n = s + s * s;
+        let spec = TopoSpec::Static { family: mtm_graph::GraphFamily::LineOfStars, n };
+        let g = mtm_graph::gen::line_of_stars(s, s);
+        let blind =
+            summarize(&blind_gossip_rounds(&spec, trials, opts.seed, opts.threads, max_rounds));
+        let bc = summarize(&bit_convergence_rounds(
+            &spec,
+            trials,
+            opts.seed ^ 1,
+            opts.threads,
+            max_rounds,
+        ));
+        let (b_mean, c_mean, ratio) = match (&blind.summary, &bc.summary) {
+            (Some(b), Some(c)) => (fmt_f64(b.mean), fmt_f64(c.mean), fmt_f64(b.mean / c.mean)),
+            (b, c) => (
+                b.as_ref().map_or("-".into(), |x| fmt_f64(x.mean)),
+                c.as_ref().map_or("-".into(), |x| fmt_f64(x.mean)),
+                "-".into(),
+            ),
+        };
+        table.push_row(vec![
+            s.to_string(),
+            g.node_count().to_string(),
+            g.max_degree().to_string(),
+            b_mean,
+            c_mean,
+            ratio,
+        ]);
+    }
+    table
+}
+
+/// Blind/bitconv mean-round ratios per size (integration-test hook: the
+/// last ratio should exceed the first — the gap widens).
+pub fn ratios(opts: &ExpOpts, stars: &[usize]) -> Vec<f64> {
+    let trials = opts.trials_or(4);
+    stars
+        .iter()
+        .map(|&s| {
+            let n = s + s * s;
+            let spec = TopoSpec::Static { family: mtm_graph::GraphFamily::LineOfStars, n };
+            let blind = summarize(&blind_gossip_rounds(
+                &spec,
+                trials,
+                opts.seed,
+                opts.threads,
+                200_000_000,
+            ));
+            let bc = summarize(&bit_convergence_rounds(
+                &spec,
+                trials,
+                opts.seed ^ 1,
+                opts.threads,
+                200_000_000,
+            ));
+            blind.summary.expect("blind must stabilize").mean
+                / bc.summary.expect("bitconv must stabilize").mean
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_shape() {
+        let mut opts = ExpOpts::quick();
+        opts.trials = 2;
+        let t = run(&opts);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.header().len(), 6);
+    }
+}

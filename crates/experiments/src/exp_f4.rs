@@ -1,0 +1,148 @@
+//! **F4 — §VIII self-stabilization**: "if you connect isolated network
+//! components that have been running the algorithm for arbitrary durations,
+//! the combined network will still stabilize to a single leader in the same
+//! stabilization time."
+//!
+//! Design: two disjoint 8-regular expanders run non-synchronized bit
+//! convergence long enough to converge internally (each half elects its own
+//! leader — arbitrary prior state). At the join round a bridge edge
+//! appears. We measure rounds from the join until global stabilization and
+//! compare with a *fresh* execution on the joined graph — the claim is that
+//! re-stabilization after a join costs the same order as stabilizing from
+//! scratch.
+
+use mtm_analysis::table::{fmt_f64, Table};
+use mtm_core::{NonSyncBitConvergence, TagConfig, UidPool};
+use mtm_engine::runner::run_trials;
+use mtm_engine::{ActivationSchedule, Engine, ModelParams};
+use mtm_graph::dynamic::JoinSchedule;
+use mtm_graph::rng::derive_seed;
+use mtm_graph::{gen, StaticTopology};
+
+use crate::harness::summarize;
+use crate::opts::{ExpOpts, Scale};
+
+/// One joined-run trial: returns `(rounds after join to global
+/// stabilization, halves converged separately before join)`.
+fn joined_trial(half: usize, join_round: u64, seed: u64, max_rounds: u64) -> (Option<u64>, bool) {
+    let left = gen::random_regular(half, 8, derive_seed(seed, 0));
+    let right = gen::random_regular(half, 8, derive_seed(seed, 1));
+    let bridge = [(0u32, half as u32)];
+    let topo = JoinSchedule::new(&left, &right, &bridge, join_round);
+    let n = 2 * half;
+    let config = TagConfig::for_network(n, 9); // joined Δ = 9 at the bridge
+    let uids = UidPool::random(n, derive_seed(seed, 10));
+    let nodes = NonSyncBitConvergence::spawn(&uids, config, derive_seed(seed, 12));
+    let mut e = Engine::new(
+        topo,
+        ModelParams::mobile(config.nonsync_tag_bits()),
+        ActivationSchedule::synchronized(n),
+        nodes,
+        derive_seed(seed, 11),
+    );
+    // Run to just before the join and check each half converged internally.
+    e.run_rounds(join_round - 1);
+    let half_converged = {
+        let l0 = e.node(0).best_pair();
+        let r0 = e.node(half).best_pair();
+        e.nodes()[..half].iter().all(|p| p.best_pair() == l0)
+            && e.nodes()[half..].iter().all(|p| p.best_pair() == r0)
+    };
+    let out = e.run_to_stabilization(max_rounds);
+    (out.stabilized_round.map(|r| r - join_round + 1), half_converged)
+}
+
+/// One fresh-run trial on the already-joined graph.
+fn fresh_trial(half: usize, seed: u64, max_rounds: u64) -> Option<u64> {
+    let left = gen::random_regular(half, 8, derive_seed(seed, 0));
+    let right = gen::random_regular(half, 8, derive_seed(seed, 1));
+    let joined = left.disjoint_union(&right).with_edges(&[(0, half as u32)]);
+    let n = joined.node_count();
+    let config = TagConfig::for_network(n, 9);
+    let uids = UidPool::random(n, derive_seed(seed, 10));
+    let nodes = NonSyncBitConvergence::spawn(&uids, config, derive_seed(seed, 12));
+    let mut e = Engine::new(
+        StaticTopology::new(joined),
+        ModelParams::mobile(config.nonsync_tag_bits()),
+        ActivationSchedule::synchronized(n),
+        nodes,
+        derive_seed(seed, 11),
+    );
+    e.run_to_stabilization(max_rounds).stabilized_round
+}
+
+/// Run the experiment, returning the result table.
+pub fn run(opts: &ExpOpts) -> Table {
+    let (halves, join_round, trials, max_rounds): (&[usize], u64, usize, u64) = match opts.scale {
+        Scale::Quick => (&[12], 30_000, opts.trials_or(2), 50_000_000),
+        Scale::Full => (&[16, 32, 64], 200_000, opts.trials_or(8), 500_000_000),
+    };
+    let mut table = Table::new(vec![
+        "half", "n", "join@", "pre-converged", "rejoin (mean)", "fresh (mean)", "rejoin/fresh",
+    ]);
+    for &half in halves {
+        let joined: Vec<(Option<u64>, bool)> =
+            run_trials(trials, opts.seed, opts.threads, move |_t, seed| {
+                joined_trial(half, join_round, seed, max_rounds)
+            });
+        let fresh: Vec<Option<u64>> =
+            run_trials(trials, opts.seed ^ 9, opts.threads, move |_t, seed| {
+                fresh_trial(half, seed, max_rounds)
+            });
+        let pre_converged = joined.iter().filter(|(_, c)| *c).count();
+        let rejoin = summarize(&joined.iter().map(|(r, _)| *r).collect::<Vec<_>>());
+        let fresh_s = summarize(&fresh);
+        let ratio = match (&rejoin.summary, &fresh_s.summary) {
+            (Some(a), Some(b)) => fmt_f64(a.mean / b.mean),
+            _ => "-".into(),
+        };
+        table.push_row(vec![
+            half.to_string(),
+            (2 * half).to_string(),
+            join_round.to_string(),
+            format!("{pre_converged}/{trials}"),
+            rejoin.summary.as_ref().map_or("-".into(), |s| fmt_f64(s.mean)),
+            fresh_s.summary.as_ref().map_or("-".into(), |s| fmt_f64(s.mean)),
+            ratio,
+        ]);
+    }
+    table
+}
+
+/// `(rejoin mean, fresh mean, halves-converged fraction)` for one size
+/// (integration-test hook).
+pub fn rejoin_vs_fresh(opts: &ExpOpts, half: usize, join_round: u64) -> (f64, f64, f64) {
+    let trials = opts.trials_or(3);
+    let joined: Vec<(Option<u64>, bool)> =
+        run_trials(trials, opts.seed, opts.threads, move |_t, seed| {
+            joined_trial(half, join_round, seed, 500_000_000)
+        });
+    let fresh: Vec<Option<u64>> =
+        run_trials(trials, opts.seed ^ 9, opts.threads, move |_t, seed| {
+            fresh_trial(half, seed, 500_000_000)
+        });
+    let rejoin = summarize(&joined.iter().map(|(r, _)| *r).collect::<Vec<_>>());
+    let fresh_s = summarize(&fresh);
+    let conv = joined.iter().filter(|(_, c)| *c).count() as f64 / trials as f64;
+    (
+        rejoin.summary.expect("rejoin must stabilize").mean,
+        fresh_s.summary.expect("fresh must stabilize").mean,
+        conv,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_shape() {
+        let mut opts = ExpOpts::quick();
+        opts.trials = 1;
+        let t = run(&opts);
+        assert_eq!(t.len(), 1);
+        let row = &t.rows()[0];
+        assert_ne!(row[4], "-", "rejoin timed out");
+        assert_ne!(row[5], "-", "fresh timed out");
+    }
+}

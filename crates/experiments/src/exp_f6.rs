@@ -1,0 +1,125 @@
+//! **F6 — mobile vs classical telephone model**: the reason the paper's
+//! model exists. In the classical telephone model a node may accept
+//! unboundedly many incoming connections per round; Daum et al. (and §I of
+//! the paper) observe that bounding acceptance to one — what smartphone
+//! peer-to-peer stacks actually do — makes classical strategies much
+//! slower on hub-heavy topologies.
+//!
+//! Sweep: PUSH-PULL rumor spreading from one leaf of a star, identical
+//! protocol code under both connection policies. In the classical model
+//! the hub informs all leaves in `O(log n)` rounds; in the mobile model the
+//! hub is a one-connection-per-round bottleneck and needs `Θ(n·log n)`
+//! rounds. The reproduced claim: the mobile/classical ratio grows roughly
+//! linearly in `n`.
+
+use mtm_analysis::fit::log_log_fit;
+use mtm_analysis::table::{fmt_f64, Table};
+use mtm_engine::ModelParams;
+use mtm_graph::GraphFamily;
+
+use crate::harness::{push_pull_rounds, summarize, TopoSpec};
+use crate::opts::{ExpOpts, Scale};
+
+/// Run the experiment, returning the result table.
+pub fn run(opts: &ExpOpts) -> Table {
+    let (sizes, trials, max_rounds): (&[usize], usize, u64) = match opts.scale {
+        Scale::Quick => (&[16, 64], opts.trials_or(3), 5_000_000),
+        Scale::Full => (&[64, 128, 256, 512, 1024], opts.trials_or(10), 100_000_000),
+    };
+    let mut table = Table::new(vec![
+        "n", "classical (mean)", "mobile (mean)", "mobile/classical", "n·log₂n",
+    ]);
+    let mut ratio_points = Vec::new();
+    for &n in sizes {
+        let spec = TopoSpec::Static { family: GraphFamily::Star, n };
+        let classical = summarize(&push_pull_rounds(
+            &spec,
+            ModelParams::classical(),
+            trials,
+            opts.seed,
+            opts.threads,
+            max_rounds,
+        ));
+        let mobile = summarize(&push_pull_rounds(
+            &spec,
+            ModelParams::mobile(0),
+            trials,
+            opts.seed ^ 1,
+            opts.threads,
+            max_rounds,
+        ));
+        let (c_mean, m_mean, ratio) = match (&classical.summary, &mobile.summary) {
+            (Some(c), Some(m)) => {
+                ratio_points.push((n as f64, m.mean / c.mean));
+                (fmt_f64(c.mean), fmt_f64(m.mean), fmt_f64(m.mean / c.mean))
+            }
+            (c, m) => (
+                c.as_ref().map_or("-".into(), |x| fmt_f64(x.mean)),
+                m.as_ref().map_or("-".into(), |x| fmt_f64(x.mean)),
+                "-".into(),
+            ),
+        };
+        table.push_row(vec![
+            n.to_string(),
+            c_mean,
+            m_mean,
+            ratio,
+            fmt_f64(n as f64 * (n as f64).log2()),
+        ]);
+    }
+    if ratio_points.len() >= 2 {
+        let fit = log_log_fit(&ratio_points);
+        table.push_row(vec![
+            "ratio fit".into(),
+            format!("slope={}", fmt_f64(fit.slope)),
+            format!("R²={}", fmt_f64(fit.r_squared)),
+            "expect ≈1".into(),
+            "-".into(),
+        ]);
+    }
+    table
+}
+
+/// `(classical mean, mobile mean)` for one size (integration-test hook).
+pub fn model_gap(opts: &ExpOpts, n: usize) -> (f64, f64) {
+    let trials = opts.trials_or(3);
+    let spec = TopoSpec::Static { family: GraphFamily::Star, n };
+    let classical = summarize(&push_pull_rounds(
+        &spec,
+        ModelParams::classical(),
+        trials,
+        opts.seed,
+        opts.threads,
+        100_000_000,
+    ));
+    let mobile = summarize(&push_pull_rounds(
+        &spec,
+        ModelParams::mobile(0),
+        trials,
+        opts.seed ^ 1,
+        opts.threads,
+        100_000_000,
+    ));
+    (
+        classical.summary.expect("classical must finish").mean,
+        mobile.summary.expect("mobile must finish").mean,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_shows_gap() {
+        let mut opts = ExpOpts::quick();
+        opts.trials = 2;
+        let t = run(&opts);
+        assert_eq!(t.len(), 3); // 2 sizes + fit row
+        // The mobile mean must exceed the classical mean at n = 64.
+        let row = &t.rows()[1];
+        let c: f64 = row[1].parse().unwrap();
+        let m: f64 = row[2].parse().unwrap();
+        assert!(m > c, "mobile ({m}) should be slower than classical ({c})");
+    }
+}

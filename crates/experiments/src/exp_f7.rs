@@ -1,0 +1,146 @@
+//! **F7 — convergence trajectories**: the time-series view of
+//! stabilization. For one topology, all three leader election algorithms,
+//! the fraction of nodes already pointing at the eventual winner as a
+//! function of the round — the epidemic S-curve behind Theorems VI.1,
+//! VII.2 and VIII.2's epidemic-expansion arguments (slow start while the
+//! winner's set `S_r` is small, exponential middle while `|S_r| ≤ n/2`
+//! grows by `(1 + Θ(α))` factors, saturating tail as `U_r` shrinks).
+//!
+//! Unlike T1/F2 (which report only the stabilization round) this
+//! regenerates the whole curve, checkpointed on a fixed round grid and
+//! averaged across trials.
+
+use mtm_analysis::table::{fmt_f64, Table};
+use mtm_core::{BitConvergence, BlindGossip, NonSyncBitConvergence, TagConfig, UidPool};
+use mtm_engine::runner::run_trials;
+use mtm_engine::{ActivationSchedule, Engine, LeaderView, ModelParams, Protocol};
+use mtm_graph::rng::derive_seed;
+use mtm_graph::{DynamicTopology, StaticTopology};
+
+use crate::opts::{ExpOpts, Scale};
+
+/// Fraction of nodes pointing at `winner`.
+fn agree_fraction<P: Protocol + LeaderView, T: DynamicTopology>(
+    e: &Engine<P, T>,
+    winner: u64,
+) -> f64 {
+    let n = e.node_count();
+    e.nodes().iter().filter(|p| p.leader() == winner).count() as f64 / n as f64
+}
+
+/// One trial: agreement fraction at each checkpoint for one algorithm.
+fn trajectory(
+    algo: &'static str,
+    s: usize,
+    checkpoints: &[u64],
+    seed: u64,
+) -> Vec<f64> {
+    let g = mtm_graph::gen::line_of_stars(s, s);
+    let n = g.node_count();
+    let delta = g.max_degree();
+    let uids = UidPool::random(n, derive_seed(seed, 10));
+    let engine_seed = derive_seed(seed, 11);
+    let sched = ActivationSchedule::synchronized(n);
+    let config = TagConfig::for_network(n, delta);
+
+    // Sample each algorithm's curve on the shared checkpoint grid.
+    macro_rules! sample {
+        ($engine:expr, $winner:expr) => {{
+            let mut e = $engine;
+            let winner = $winner;
+            let mut out = Vec::with_capacity(checkpoints.len());
+            let mut at = 0u64;
+            for &cp in checkpoints {
+                e.run_rounds(cp - at);
+                at = cp;
+                out.push(agree_fraction(&e, winner));
+            }
+            out
+        }};
+    }
+
+    match algo {
+        "blind" => {
+            let nodes = BlindGossip::spawn(&uids);
+            sample!(
+                Engine::new(StaticTopology::new(g), ModelParams::mobile(0), sched, nodes, engine_seed),
+                uids.min_uid()
+            )
+        }
+        "bitconv" => {
+            let nodes = BitConvergence::spawn(&uids, config, derive_seed(seed, 12));
+            let winner = nodes.iter().map(|p| p.active_pair()).min().unwrap().uid;
+            sample!(
+                Engine::new(StaticTopology::new(g), ModelParams::mobile(1), sched, nodes, engine_seed),
+                winner
+            )
+        }
+        "nonsync" => {
+            let nodes = NonSyncBitConvergence::spawn(&uids, config, derive_seed(seed, 12));
+            let winner = nodes.iter().map(|p| p.best_pair()).min().unwrap().uid;
+            sample!(
+                Engine::new(
+                    StaticTopology::new(g),
+                    ModelParams::mobile(config.nonsync_tag_bits()),
+                    sched,
+                    nodes,
+                    engine_seed
+                ),
+                winner
+            )
+        }
+        _ => unreachable!(),
+    }
+}
+
+/// Run the experiment, returning the result table.
+pub fn run(opts: &ExpOpts) -> Table {
+    let (s, trials, grid_step, grid_points): (usize, usize, u64, usize) = match opts.scale {
+        Scale::Quick => (4, opts.trials_or(3), 50, 12),
+        Scale::Full => (10, opts.trials_or(10), 500, 24),
+    };
+    let checkpoints: Vec<u64> = (1..=grid_points as u64).map(|i| i * grid_step).collect();
+    let mut table = Table::new(vec!["round", "blind b=0", "bitconv b=1", "nonsync b=loglog"]);
+    let mut curves: Vec<Vec<f64>> = Vec::new();
+    for algo in ["blind", "bitconv", "nonsync"] {
+        let cps = checkpoints.clone();
+        let per_trial: Vec<Vec<f64>> =
+            run_trials(trials, opts.seed, opts.threads, move |_t, seed| {
+                trajectory(algo, s, &cps, seed)
+            });
+        // Average across trials per checkpoint.
+        let mean: Vec<f64> = (0..checkpoints.len())
+            .map(|i| per_trial.iter().map(|c| c[i]).sum::<f64>() / trials as f64)
+            .collect();
+        curves.push(mean);
+    }
+    for (i, &cp) in checkpoints.iter().enumerate() {
+        table.push_row(vec![
+            cp.to_string(),
+            fmt_f64(curves[0][i]),
+            fmt_f64(curves[1][i]),
+            fmt_f64(curves[2][i]),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_curves_are_monotone_ish_and_bounded() {
+        let mut opts = ExpOpts::quick();
+        opts.trials = 2;
+        let t = run(&opts);
+        assert_eq!(t.len(), 12);
+        // Fractions in [0, 1]; last checkpoint ≥ first (net progress).
+        for col in 1..=3 {
+            let first: f64 = t.rows()[0][col].parse().unwrap();
+            let last: f64 = t.rows()[11][col].parse().unwrap();
+            assert!((0.0..=1.0).contains(&first) && (0.0..=1.0).contains(&last));
+            assert!(last >= first, "column {col} regressed: {first} -> {last}");
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! **T2 — Corollary VI.6**: PUSH-PULL rumor spreading succeeds in
+//! `O((1/α)·Δ²·log²n)` rounds in the mobile telephone model with `b = 0`
+//! and any `τ ≥ 1`.
+//!
+//! Same sweep design as T1 (the corollary inherits Theorem VI.1's bound):
+//! families with known `α`, static and `τ = 1` churn, rumor starting at one
+//! node, measuring rounds until every node is informed.
+
+use mtm_analysis::table::{fmt_f64, Table};
+use mtm_engine::ModelParams;
+use mtm_graph::GraphFamily;
+
+use crate::harness::{blind_gossip_bound, push_pull_rounds, summarize, TopoSpec};
+use crate::opts::{ExpOpts, Scale};
+
+const FAMILIES: [GraphFamily; 4] = [
+    GraphFamily::Clique,
+    GraphFamily::Cycle,
+    GraphFamily::Star,
+    GraphFamily::LineOfStars,
+];
+
+/// Run the experiment, returning the result table.
+pub fn run(opts: &ExpOpts) -> Table {
+    let (sizes, trials, max_rounds): (&[usize], usize, u64) = match opts.scale {
+        Scale::Quick => (&[16, 32], opts.trials_or(3), 2_000_000),
+        Scale::Full => (&[64, 128, 256], opts.trials_or(10), 50_000_000),
+    };
+    let mut table = Table::new(vec![
+        "topology", "n", "Δ", "α", "τ", "trials", "mean", "median", "timeouts", "bound",
+        "mean/bound",
+    ]);
+    for family in FAMILIES {
+        for &n in sizes {
+            for tau in [None, Some(1u64)] {
+                let spec = match tau {
+                    None => TopoSpec::Static { family, n },
+                    Some(t) => TopoSpec::Relabeled { family, n, tau: t },
+                };
+                let sample = spec.sample_graph(opts.seed);
+                let n_actual = sample.node_count();
+                let delta = sample.max_degree();
+                let alpha = spec.known_alpha(n_actual).expect("family has closed-form α");
+                let results = push_pull_rounds(
+                    &spec,
+                    ModelParams::mobile(0),
+                    trials,
+                    opts.seed,
+                    opts.threads,
+                    max_rounds,
+                );
+                let ts = summarize(&results);
+                let bound = blind_gossip_bound(n_actual, delta, alpha);
+                let (mean, median, ratio) = match &ts.summary {
+                    Some(s) => (fmt_f64(s.mean), fmt_f64(s.median), fmt_f64(s.mean / bound)),
+                    None => ("-".into(), "-".into(), "-".into()),
+                };
+                table.push_row(vec![
+                    spec.label(),
+                    n_actual.to_string(),
+                    delta.to_string(),
+                    fmt_f64(alpha),
+                    tau.map_or("∞".into(), |t| t.to_string()),
+                    trials.to_string(),
+                    mean,
+                    median,
+                    ts.timeouts.to_string(),
+                    fmt_f64(bound),
+                    ratio,
+                ]);
+            }
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_produces_full_grid() {
+        let mut opts = ExpOpts::quick();
+        opts.trials = 2;
+        let t = run(&opts);
+        assert_eq!(t.len(), 16);
+        for row in t.rows() {
+            assert_eq!(row[8], "0", "timeout in row {row:?}");
+        }
+    }
+}

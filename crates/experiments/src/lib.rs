@@ -1,0 +1,75 @@
+//! Experiment harness: one module per reproduced claim.
+//!
+//! The paper is a theory paper — its "tables and figures" are theorems. Each
+//! module here regenerates the empirical counterpart of one claim (see
+//! DESIGN.md §3 for the full index):
+//!
+//! | id | claim | module |
+//! |----|-------|--------|
+//! | T1 | Thm VI.1 — blind gossip `O((1/α)Δ²log²n)` | [`exp_t1`] |
+//! | F1 | §VI — `Ω(Δ²/√α)` on the line of stars | [`exp_f1`] |
+//! | T2 | Cor VI.6 — PUSH-PULL `O((1/α)Δ²log²n)`, b=0 | [`exp_t2`] |
+//! | F2 | Thm VII.2 — `τ` sweep, gap vs blind gossip | [`exp_f2`] |
+//! | T3 | Thm VII.2 — polylog rounds for `τ ≥ log Δ`, `α = O(1)` | [`exp_t3`] |
+//! | F3 | §VI vs §VII — `b = 0` vs `b = 1` separation | [`exp_f3`] |
+//! | T4 | Thm VIII.2 — non-synchronized within polylog of synchronized | [`exp_t4`] |
+//! | F4 | §VIII — self-stabilization on component joins | [`exp_f4`] |
+//! | T5 | Lemma V.1 — `γ ≥ α/4` | [`exp_t5`] |
+//! | F5 | Thm V.2 — PPUSH matching approximation `m/f(r)` | [`exp_f5`] |
+//! | T6 | §IX — tag length ablation `b ∈ {0, 1, log log n}` | [`exp_t6`] |
+//! | F6 | related work — mobile vs classical model gap | [`exp_f6`] |
+//!
+//! Every experiment is a pure function of [`opts::ExpOpts`] (trials, seed,
+//! scale), prints an aligned table, and can emit CSV for EXPERIMENTS.md.
+
+pub mod harness;
+pub mod opts;
+
+pub mod exp_a1;
+pub mod exp_a2;
+pub mod exp_a3;
+pub mod exp_f1;
+pub mod exp_f2;
+pub mod exp_f3;
+pub mod exp_f4;
+pub mod exp_f5;
+pub mod exp_f6;
+pub mod exp_f7;
+pub mod exp_t1;
+pub mod exp_t2;
+pub mod exp_t3;
+pub mod exp_t4;
+pub mod exp_t5;
+pub mod exp_t6;
+
+pub use harness::{SchedSpec, TopoSpec};
+pub use opts::ExpOpts;
+
+/// All experiment ids with their run functions, for the CLI's `all` mode.
+pub fn run_by_id(id: &str, opts: &ExpOpts) -> Option<mtm_analysis::table::Table> {
+    match id {
+        "t1" => Some(exp_t1::run(opts)),
+        "f1" => Some(exp_f1::run(opts)),
+        "t2" => Some(exp_t2::run(opts)),
+        "f2" => Some(exp_f2::run(opts)),
+        "t3" => Some(exp_t3::run(opts)),
+        "f3" => Some(exp_f3::run(opts)),
+        "t4" => Some(exp_t4::run(opts)),
+        "f4" => Some(exp_f4::run(opts)),
+        "t5" => Some(exp_t5::run(opts)),
+        "f5" => Some(exp_f5::run(opts)),
+        "t6" => Some(exp_t6::run(opts)),
+        "f6" => Some(exp_f6::run(opts)),
+        "f7" => Some(exp_f7::run(opts)),
+        "a1" => Some(exp_a1::run(opts)),
+        "a2" => Some(exp_a2::run(opts)),
+        "a3" => Some(exp_a3::run(opts)),
+        _ => None,
+    }
+}
+
+/// Experiment ids in presentation order (paper claims T*/F*, ablations A*).
+pub const ALL_IDS: [&str; 16] = [
+    "t1", "f1", "t2", "f2", "t3", "f3", "t4", "f4", "t5", "f5", "t6", "f6", "f7", "a1", "a2",
+    "a3",
+];

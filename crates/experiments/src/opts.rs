@@ -1,0 +1,158 @@
+//! Options shared by every experiment binary.
+
+/// Scale of an experiment run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// CI/bench scale: small sizes, few trials, seconds per experiment.
+    Quick,
+    /// Paper scale: the sweeps recorded in EXPERIMENTS.md.
+    Full,
+}
+
+/// Options shared by every experiment.
+#[derive(Clone, Debug)]
+pub struct ExpOpts {
+    /// Trials per configuration (0 = use the experiment's default).
+    pub trials: usize,
+    /// Base seed; every trial derives its own.
+    pub seed: u64,
+    /// Worker threads (0 = available parallelism).
+    pub threads: usize,
+    /// Quick or full sweeps.
+    pub scale: Scale,
+    /// Optional path to also write the table as CSV.
+    pub csv: Option<String>,
+}
+
+impl Default for ExpOpts {
+    fn default() -> Self {
+        ExpOpts { trials: 0, seed: 0xC0FFEE, threads: 0, scale: Scale::Full, csv: None }
+    }
+}
+
+impl ExpOpts {
+    /// Quick-scale options for tests and benches.
+    pub fn quick() -> Self {
+        ExpOpts { scale: Scale::Quick, ..Default::default() }
+    }
+
+    /// Trials to run, with a per-experiment default.
+    pub fn trials_or(&self, default: usize) -> usize {
+        if self.trials == 0 {
+            default
+        } else {
+            self.trials
+        }
+    }
+
+    /// Parse from command-line arguments (everything after the binary
+    /// name). Recognized: `--quick`, `--trials N`, `--seed N`,
+    /// `--threads N`, `--csv PATH`. Returns an error message for unknown
+    /// flags.
+    pub fn parse(args: &[String]) -> Result<ExpOpts, String> {
+        let mut opts = ExpOpts::default();
+        let mut i = 0;
+        let take_value = |args: &[String], i: &mut usize, flag: &str| -> Result<String, String> {
+            *i += 1;
+            args.get(*i).cloned().ok_or_else(|| format!("{flag} needs a value"))
+        };
+        while i < args.len() {
+            match args[i].as_str() {
+                "--quick" => opts.scale = Scale::Quick,
+                "--full" => opts.scale = Scale::Full,
+                "--trials" => {
+                    opts.trials = take_value(args, &mut i, "--trials")?
+                        .parse()
+                        .map_err(|e| format!("--trials: {e}"))?;
+                }
+                "--seed" => {
+                    opts.seed = take_value(args, &mut i, "--seed")?
+                        .parse()
+                        .map_err(|e| format!("--seed: {e}"))?;
+                }
+                "--threads" => {
+                    opts.threads = take_value(args, &mut i, "--threads")?
+                        .parse()
+                        .map_err(|e| format!("--threads: {e}"))?;
+                }
+                "--csv" => opts.csv = Some(take_value(args, &mut i, "--csv")?),
+                other => return Err(format!("unknown flag: {other}")),
+            }
+            i += 1;
+        }
+        Ok(opts)
+    }
+
+    /// Parse from `std::env::args`, exiting with a usage message on error.
+    pub fn from_env() -> ExpOpts {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        match ExpOpts::parse(&args) {
+            Ok(o) => o,
+            Err(e) => {
+                eprintln!("error: {e}");
+                eprintln!(
+                    "usage: [--quick|--full] [--trials N] [--seed N] [--threads N] [--csv PATH]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Print the table; write CSV if requested.
+    pub fn emit(&self, id: &str, title: &str, table: &mtm_analysis::table::Table) {
+        println!("== {id}: {title} ==");
+        println!("{}", table.render());
+        if let Some(path) = &self.csv {
+            std::fs::write(path, table.to_csv())
+                .unwrap_or_else(|e| eprintln!("warning: failed to write {path}: {e}"));
+            println!("(csv written to {path})");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_defaults() {
+        let o = ExpOpts::parse(&[]).unwrap();
+        assert_eq!(o.scale, Scale::Full);
+        assert_eq!(o.trials, 0);
+    }
+
+    #[test]
+    fn parse_flags() {
+        let o = ExpOpts::parse(&s(&["--quick", "--trials", "7", "--seed", "99", "--threads", "2"]))
+            .unwrap();
+        assert_eq!(o.scale, Scale::Quick);
+        assert_eq!(o.trials, 7);
+        assert_eq!(o.seed, 99);
+        assert_eq!(o.threads, 2);
+    }
+
+    #[test]
+    fn parse_csv_path() {
+        let o = ExpOpts::parse(&s(&["--csv", "/tmp/x.csv"])).unwrap();
+        assert_eq!(o.csv.as_deref(), Some("/tmp/x.csv"));
+    }
+
+    #[test]
+    fn parse_rejects_unknown() {
+        assert!(ExpOpts::parse(&s(&["--bogus"])).is_err());
+        assert!(ExpOpts::parse(&s(&["--trials"])).is_err());
+        assert!(ExpOpts::parse(&s(&["--trials", "abc"])).is_err());
+    }
+
+    #[test]
+    fn trials_or_default() {
+        let mut o = ExpOpts::default();
+        assert_eq!(o.trials_or(5), 5);
+        o.trials = 2;
+        assert_eq!(o.trials_or(5), 2);
+    }
+}

@@ -1,0 +1,212 @@
+//! Targeted adversaries: dynamic topologies that actively work against
+//! leader election, beyond the structure-preserving churn in
+//! [`crate::dynamic`].
+//!
+//! The paper's analyses hold for *any* `τ`-stable dynamic graph, including
+//! adaptive-looking worst cases. These adversaries let experiments probe
+//! how much room there is between the average-case churn of
+//! [`crate::dynamic::RelabelingAdversary`] and deliberately hostile
+//! topology sequences:
+//!
+//! * [`IsolatingAdversary`] — every epoch, moves a designated *target*
+//!   node (e.g. the minimum-UID holder) to the most isolated position of a
+//!   line-of-stars: the far end leaf of the line. Information from the
+//!   target must repeatedly re-cross the whole spine.
+//! * [`CyclingTopologies`] — round-robins through a fixed list of graphs,
+//!   changing every `τ` rounds. Useful for reproducible worst-case
+//!   sequences and for alternating between structurally different graphs
+//!   (e.g. a path and a star) so no single-graph intuition applies.
+
+use crate::dynamic::DynamicTopology;
+use crate::static_graph::{Graph, GraphBuilder, NodeId};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Every `τ` rounds, rebuilds a line-of-stars with the `target` node placed
+/// as a leaf of the *last* star and all other nodes randomly permuted over
+/// the remaining positions. The target's information must traverse the
+/// full spine after every change.
+pub struct IsolatingAdversary {
+    spine: usize,
+    points: usize,
+    target: NodeId,
+    tau: u64,
+    seed: u64,
+    current_epoch: Option<u64>,
+    current: Graph,
+}
+
+impl IsolatingAdversary {
+    /// A line of `spine` stars with `points` leaves each; `target` is the
+    /// node to keep isolated. Total nodes: `spine + spine·points`.
+    pub fn new(spine: usize, points: usize, target: NodeId, tau: u64, seed: u64) -> Self {
+        assert!(spine >= 1 && points >= 1 && tau >= 1);
+        let n = spine + spine * points;
+        assert!((target as usize) < n, "target out of range");
+        let mut adv = IsolatingAdversary {
+            spine,
+            points,
+            target,
+            tau,
+            seed,
+            current_epoch: None,
+            current: GraphBuilder::new(0).build(),
+        };
+        adv.current = adv.build_epoch(0);
+        adv
+    }
+
+    fn build_epoch(&self, epoch: u64) -> Graph {
+        let n = self.spine + self.spine * self.points;
+        let mut rng = SmallRng::seed_from_u64(crate::rng::derive_seed(self.seed, epoch));
+        // Positions: 0..spine are spine slots (in line order); the rest are
+        // leaf slots, where leaf slot j belongs to star j / points. The
+        // last leaf slot belongs to the last star; pin the target there.
+        let mut others: Vec<NodeId> =
+            (0..n as NodeId).filter(|&u| u != self.target).collect();
+        others.shuffle(&mut rng);
+        let mut assignment = others;
+        assignment.push(self.target); // target takes the final leaf slot
+        let node_at = |slot: usize| assignment[slot];
+
+        let mut b = GraphBuilder::with_capacity(n, n - 1);
+        for i in 1..self.spine {
+            b.add_edge(node_at(i - 1), node_at(i));
+        }
+        for j in 0..self.spine * self.points {
+            let star = j / self.points;
+            b.add_edge(node_at(star), node_at(self.spine + j));
+        }
+        b.build()
+    }
+}
+
+impl DynamicTopology for IsolatingAdversary {
+    fn node_count(&self) -> usize {
+        self.spine + self.spine * self.points
+    }
+    fn tau(&self) -> Option<u64> {
+        Some(self.tau)
+    }
+    fn graph_at(&mut self, round: u64) -> &Graph {
+        let epoch = (round - 1) / self.tau;
+        if self.current_epoch != Some(epoch) {
+            self.current_epoch = Some(epoch);
+            self.current = self.build_epoch(epoch);
+        }
+        &self.current
+    }
+}
+
+/// Cycles deterministically through a fixed list of graphs, advancing every
+/// `τ` rounds.
+pub struct CyclingTopologies {
+    graphs: Vec<Graph>,
+    tau: u64,
+}
+
+impl CyclingTopologies {
+    /// All graphs must share one node count.
+    pub fn new(graphs: Vec<Graph>, tau: u64) -> Self {
+        assert!(!graphs.is_empty(), "need at least one graph");
+        assert!(tau >= 1);
+        let n = graphs[0].node_count();
+        assert!(
+            graphs.iter().all(|g| g.node_count() == n),
+            "all graphs must have the same node count"
+        );
+        CyclingTopologies { graphs, tau }
+    }
+}
+
+impl DynamicTopology for CyclingTopologies {
+    fn node_count(&self) -> usize {
+        self.graphs[0].node_count()
+    }
+    fn tau(&self) -> Option<u64> {
+        if self.graphs.len() == 1 {
+            None
+        } else {
+            Some(self.tau)
+        }
+    }
+    fn graph_at(&mut self, round: u64) -> &Graph {
+        let epoch = (round - 1) / self.tau;
+        &self.graphs[(epoch % self.graphs.len() as u64) as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn isolating_adversary_pins_target_as_far_leaf() {
+        let mut adv = IsolatingAdversary::new(4, 3, 7, 2, 1);
+        for round in 1..=12 {
+            let target = 7u32;
+            let g = adv.graph_at(round);
+            assert!(g.is_connected());
+            assert_eq!(g.degree(target), 1, "target must be a leaf (round {round})");
+            // The target's only neighbor is the last spine node, whose
+            // distance from the first spine node is spine-1 hops.
+            let hub = g.neighbors(target)[0];
+            // hub should carry spine and leaf edges: degree ≥ points + 1.
+            assert!(g.degree(hub) >= 4, "target's hub looks wrong (round {round})");
+        }
+    }
+
+    #[test]
+    fn isolating_adversary_isomorphic_to_line_of_stars() {
+        let mut adv = IsolatingAdversary::new(3, 4, 0, 1, 9);
+        let expect = gen::line_of_stars(3, 4).degree_sequence();
+        for round in 1..=6 {
+            assert_eq!(adv.graph_at(round).degree_sequence(), expect);
+        }
+    }
+
+    #[test]
+    fn isolating_adversary_changes_between_epochs() {
+        let mut adv = IsolatingAdversary::new(3, 3, 2, 3, 4);
+        let g1 = adv.graph_at(1).clone();
+        assert_eq!(&g1, adv.graph_at(2), "stable within epoch");
+        assert_eq!(&g1, adv.graph_at(3), "stable within epoch");
+        let g2 = adv.graph_at(4).clone();
+        assert_ne!(g1, g2, "epoch change should re-deal positions");
+    }
+
+    #[test]
+    fn cycling_topologies_round_robin() {
+        let a = gen::path(6);
+        let b = gen::cycle(6);
+        let c = gen::star(6);
+        let mut cyc = CyclingTopologies::new(vec![a.clone(), b.clone(), c.clone()], 2);
+        assert_eq!(cyc.graph_at(1), &a);
+        assert_eq!(cyc.graph_at(2), &a);
+        assert_eq!(cyc.graph_at(3), &b);
+        assert_eq!(cyc.graph_at(5), &c);
+        assert_eq!(cyc.graph_at(7), &a); // wraps
+    }
+
+    #[test]
+    fn cycling_single_graph_reports_static() {
+        let mut cyc = CyclingTopologies::new(vec![gen::clique(4)], 5);
+        assert_eq!(cyc.tau(), None);
+        let g1 = cyc.graph_at(1).clone();
+        assert_eq!(&g1, cyc.graph_at(100));
+    }
+
+    #[test]
+    #[should_panic(expected = "same node count")]
+    fn cycling_rejects_mismatched_sizes() {
+        CyclingTopologies::new(vec![gen::clique(4), gen::clique(5)], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "target out of range")]
+    fn isolating_rejects_bad_target() {
+        IsolatingAdversary::new(2, 2, 99, 1, 0);
+    }
+}

@@ -1,0 +1,319 @@
+//! Vertex expansion `α`.
+//!
+//! The paper (Section II) defines, for `S ⊆ V` with `0 < |S| ≤ n/2`,
+//! `α(S) = |∂S| / |S|` where `∂S = { v ∉ S : N(v) ∩ S ≠ ∅ }`, and the vertex
+//! expansion of the graph as `α = min_S α(S)`. Note `α(S)` can exceed 1 for
+//! a specific `S` but the minimum always satisfies `α ≤ 1`.
+//!
+//! Computing `α` exactly is exponential (it is a min over all subsets).
+//! Three tools are provided:
+//!
+//! * [`alpha_of_set`] — `α(S)` for a specific cut, exact, linear time;
+//! * [`alpha_exact`] — the exact minimum via bitmask subset enumeration,
+//!   for graphs with `n ≤ 24` (tests and Lemma V.1 validation);
+//! * [`alpha_upper_bound_sampled`] — a heuristic search over structured cuts
+//!   (BFS balls, degree prefixes, random sets + greedy descent) returning
+//!   `min α(S)` over everything it tried — always an *upper bound* on `α`.
+//!
+//! Experiments on large graphs use the closed forms attached to each
+//! [`crate::family::GraphFamily`], validated against [`alpha_exact`] at
+//! small sizes in tests.
+
+use crate::static_graph::{Graph, NodeId};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Exact `α(S) = |∂S|/|S|` for a specific node set.
+///
+/// `S` is given as a boolean membership mask of length `n`. Panics if `S` is
+/// empty.
+pub fn alpha_of_set(g: &Graph, in_s: &[bool]) -> f64 {
+    let size: usize = in_s.iter().filter(|&&b| b).count();
+    assert!(size > 0, "α(S) undefined for empty S");
+    boundary_size(g, in_s) as f64 / size as f64
+}
+
+/// `|∂S|`: the number of nodes outside `S` adjacent to `S`.
+pub fn boundary_size(g: &Graph, in_s: &[bool]) -> usize {
+    let n = g.node_count();
+    debug_assert_eq!(in_s.len(), n);
+    let mut count = 0usize;
+    for v in 0..n as NodeId {
+        if in_s[v as usize] {
+            continue;
+        }
+        if g.neighbors(v).iter().any(|&u| in_s[u as usize]) {
+            count += 1;
+        }
+    }
+    count
+}
+
+/// Exact vertex expansion by exhaustive subset enumeration using 64-bit
+/// neighborhood masks. Only feasible for small graphs; panics for `n > 24`
+/// (2^24 subsets ≈ 16M is the practical ceiling for tests).
+pub fn alpha_exact(g: &Graph) -> f64 {
+    let n = g.node_count();
+    assert!(n >= 2, "α undefined for n < 2");
+    assert!(n <= 24, "alpha_exact is exponential; use the sampled bound for n > 24");
+    let masks: Vec<u64> = (0..n as NodeId)
+        .map(|u| {
+            g.neighbors(u)
+                .iter()
+                .fold(0u64, |m, &v| m | (1u64 << v))
+        })
+        .collect();
+    let full: u64 = if n == 64 { !0 } else { (1u64 << n) - 1 };
+    let half = n / 2;
+    let mut best = f64::INFINITY;
+    for s in 1u64..=full {
+        let size = s.count_ones() as usize;
+        if size > half {
+            continue;
+        }
+        // ∂S = (∪_{u∈S} N(u)) \ S
+        let mut nbhd = 0u64;
+        let mut bits = s;
+        while bits != 0 {
+            let u = bits.trailing_zeros() as usize;
+            nbhd |= masks[u];
+            bits &= bits - 1;
+        }
+        let boundary = (nbhd & !s).count_ones() as usize;
+        let a = boundary as f64 / size as f64;
+        if a < best {
+            best = a;
+        }
+    }
+    best
+}
+
+/// Heuristic upper bound on `α` for large graphs: the minimum `α(S)` over
+/// a catalogue of candidate cuts. Deterministic for a fixed seed.
+///
+/// Candidates tried:
+/// * BFS balls of every radius around `samples` random centers,
+/// * prefixes of the degree-descending node order,
+/// * `samples` uniformly random sets of random sizes, each improved by
+///   greedy descent (move single nodes across the cut while `α(S)` drops).
+pub fn alpha_upper_bound_sampled(g: &Graph, samples: usize, seed: u64) -> f64 {
+    let n = g.node_count();
+    assert!(n >= 2);
+    let half = n / 2;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut best = f64::INFINITY;
+    let mut in_s = vec![false; n];
+
+    // BFS balls: grow from random centers, evaluating after each new node
+    // joins in BFS order, which sweeps all ball radii in one pass.
+    for _ in 0..samples.max(1) {
+        let center = rng.gen_range(0..n) as NodeId;
+        in_s.iter_mut().for_each(|b| *b = false);
+        let order = bfs_order(g, center);
+        for (taken, &u) in order.iter().enumerate() {
+            if taken + 1 > half {
+                break;
+            }
+            in_s[u as usize] = true;
+            let a = alpha_of_set(g, &in_s);
+            if a < best {
+                best = a;
+            }
+        }
+    }
+
+    // Degree-descending prefixes (captures hub-heavy minima like stars).
+    let mut by_deg: Vec<NodeId> = (0..n as NodeId).collect();
+    by_deg.sort_by_key(|&u| std::cmp::Reverse(g.degree(u)));
+    in_s.iter_mut().for_each(|b| *b = false);
+    for (taken, &u) in by_deg.iter().enumerate() {
+        if taken + 1 > half {
+            break;
+        }
+        in_s[u as usize] = true;
+        let a = alpha_of_set(g, &in_s);
+        if a < best {
+            best = a;
+        }
+    }
+
+    // Random sets + greedy descent.
+    let mut ids: Vec<NodeId> = (0..n as NodeId).collect();
+    for _ in 0..samples {
+        let size = rng.gen_range(1..=half.max(1));
+        ids.shuffle(&mut rng);
+        in_s.iter_mut().for_each(|b| *b = false);
+        for &u in &ids[..size] {
+            in_s[u as usize] = true;
+        }
+        let a = greedy_descend(g, &mut in_s, half);
+        if a < best {
+            best = a;
+        }
+    }
+    best
+}
+
+/// Greedy local search: repeatedly apply the single-node add/remove move
+/// that most decreases `α(S)`, stopping at a local minimum. Returns the
+/// final `α(S)`. `in_s` is modified in place.
+fn greedy_descend(g: &Graph, in_s: &mut [bool], half: usize) -> f64 {
+    let n = g.node_count();
+    let mut current = alpha_of_set(g, in_s);
+    loop {
+        let size = in_s.iter().filter(|&&b| b).count();
+        let mut best_move: Option<(usize, f64)> = None;
+        for u in 0..n {
+            let adding = !in_s[u];
+            if adding && size + 1 > half {
+                continue;
+            }
+            if !adding && size == 1 {
+                continue;
+            }
+            in_s[u] = !in_s[u];
+            let a = alpha_of_set(g, in_s);
+            in_s[u] = !in_s[u];
+            if a < best_move.map_or(current, |(_, b)| b) {
+                best_move = Some((u, a));
+            }
+        }
+        match best_move {
+            Some((u, a)) if a < current => {
+                in_s[u] = !in_s[u];
+                current = a;
+            }
+            _ => return current,
+        }
+    }
+}
+
+/// Nodes in BFS order from `start` (only the reachable component).
+fn bfs_order(g: &Graph, start: NodeId) -> Vec<NodeId> {
+    let n = g.node_count();
+    let mut seen = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    let mut queue = std::collections::VecDeque::new();
+    seen[start as usize] = true;
+    queue.push_back(start);
+    while let Some(u) = queue.pop_front() {
+        order.push(u);
+        for &v in g.neighbors(u) {
+            if !seen[v as usize] {
+                seen[v as usize] = true;
+                queue.push_back(v);
+            }
+        }
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn clique_alpha_exact() {
+        // K_n: every S with |S| ≤ n/2 has ∂S = V \ S, so α(S) = (n-|S|)/|S|,
+        // minimized at |S| = n/2 → α = 1 for even n.
+        let g = gen::clique(8);
+        let a = alpha_exact(&g);
+        assert!((a - 1.0).abs() < 1e-9, "K_8 α = {a}");
+        let g = gen::clique(7); // |S| = 3 → α = 4/3
+        let a = alpha_exact(&g);
+        assert!((a - 4.0 / 3.0).abs() < 1e-9, "K_7 α = {a}");
+    }
+
+    #[test]
+    fn path_alpha_exact() {
+        // P_n: take a prefix half-line S, |∂S| = 1 → α = 1/⌊n/2⌋.
+        let g = gen::path(10);
+        let a = alpha_exact(&g);
+        assert!((a - 1.0 / 5.0).abs() < 1e-9, "P_10 α = {a}");
+    }
+
+    #[test]
+    fn cycle_alpha_exact() {
+        // C_n: a contiguous arc S has |∂S| = 2 → α = 2/⌊n/2⌋.
+        let g = gen::cycle(12);
+        let a = alpha_exact(&g);
+        assert!((a - 2.0 / 6.0).abs() < 1e-9, "C_12 α = {a}");
+    }
+
+    #[test]
+    fn star_alpha_exact() {
+        // Star S_{n-1}: S = half the leaves has ∂S = {hub} → α = 1/⌊n/2⌋.
+        let g = gen::star(9);
+        let a = alpha_exact(&g);
+        assert!((a - 1.0 / 4.0).abs() < 1e-9, "star α = {a}");
+    }
+
+    #[test]
+    fn alpha_always_at_most_one() {
+        for (name, g) in [
+            ("clique", gen::clique(6)),
+            ("path", gen::path(9)),
+            ("star", gen::star(8)),
+            ("hypercube", gen::hypercube(3)),
+            ("tree", gen::dary_tree(10, 2)),
+        ] {
+            let a = alpha_exact(&g);
+            assert!(a <= 1.0 + 1e-12, "{name}: α = {a} > 1");
+            assert!(a > 0.0, "{name}: α = {a} ≤ 0 on a connected graph");
+        }
+    }
+
+    #[test]
+    fn alpha_of_set_matches_manual() {
+        // Path 0-1-2-3; S = {0,1}: ∂S = {2} → 1/2.
+        let g = gen::path(4);
+        let a = alpha_of_set(&g, &[true, true, false, false]);
+        assert!((a - 0.5).abs() < 1e-12);
+        // S = {1}: ∂S = {0, 2} → 2.
+        let a = alpha_of_set(&g, &[false, true, false, false]);
+        assert!((a - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn alpha_of_empty_set_panics() {
+        let g = gen::path(3);
+        alpha_of_set(&g, &[false, false, false]);
+    }
+
+    #[test]
+    fn sampled_bound_dominates_exact() {
+        // The sampled search returns min over candidate cuts ≥ true α.
+        for seed in 0..3 {
+            let g = gen::erdos_renyi_connected(14, 0.3, seed);
+            let exact = alpha_exact(&g);
+            let bound = alpha_upper_bound_sampled(&g, 30, seed);
+            assert!(
+                bound >= exact - 1e-9,
+                "sampled {bound} below exact {exact} (seed {seed})"
+            );
+            // On graphs this small the heuristic should be nearly tight.
+            assert!(
+                bound <= exact * 2.0 + 1e-9,
+                "sampled {bound} far above exact {exact} (seed {seed})"
+            );
+        }
+    }
+
+    #[test]
+    fn sampled_bound_finds_path_cut() {
+        let g = gen::path(64);
+        let bound = alpha_upper_bound_sampled(&g, 20, 1);
+        // True α = 1/32; BFS-ball candidates from an endpoint find it.
+        assert!(bound <= 1.0 / 16.0, "path bound too loose: {bound}");
+    }
+
+    #[test]
+    fn boundary_size_examples() {
+        let g = gen::star(5); // hub 0, leaves 1..4
+        assert_eq!(boundary_size(&g, &[false, true, true, false, false]), 1);
+        assert_eq!(boundary_size(&g, &[true, false, false, false, false]), 4);
+    }
+}

@@ -1,0 +1,587 @@
+//! Topology generators.
+//!
+//! Every family used in the paper's analysis or our experiments is generated
+//! here. Deterministic families take only sizes; randomized families take an
+//! explicit seed. All generators return *connected* graphs (randomized ones
+//! retry or patch until connected), matching the model's assumption that the
+//! topology in each round is connected.
+
+use crate::static_graph::{Graph, GraphBuilder, NodeId};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Complete graph `K_n`. Vertex expansion `α ≈ 1` (well connected); `Δ = n-1`.
+pub fn clique(n: usize) -> Graph {
+    let mut b = GraphBuilder::with_capacity(n, n * (n.saturating_sub(1)) / 2);
+    for u in 0..n as NodeId {
+        for v in (u + 1)..n as NodeId {
+            b.add_edge(u, v);
+        }
+    }
+    b.build()
+}
+
+/// Path `P_n` (a line). The paper's canonical "inherently slow" topology:
+/// `α = Θ(1/n)`.
+pub fn path(n: usize) -> Graph {
+    let mut b = GraphBuilder::with_capacity(n, n.saturating_sub(1));
+    for u in 1..n as NodeId {
+        b.add_edge(u - 1, u);
+    }
+    b.build()
+}
+
+/// Cycle `C_n`. `α = Θ(1/n)`, `Δ = 2`.
+pub fn cycle(n: usize) -> Graph {
+    assert!(n != 2, "C_2 would be a multi-edge");
+    let mut b = GraphBuilder::with_capacity(n, n);
+    for u in 1..n as NodeId {
+        b.add_edge(u - 1, u);
+    }
+    if n > 2 {
+        b.add_edge(n as NodeId - 1, 0);
+    }
+    b.build()
+}
+
+/// Star `S_{n-1}`: node 0 is the hub. `Δ = n-1`, `α = Θ(1/n)` (take `S` to be
+/// half the leaves: only the hub borders it... the hub plus nothing else, so
+/// `α(S) = 1/|S|`).
+pub fn star(n: usize) -> Graph {
+    assert!(n >= 1);
+    let mut b = GraphBuilder::with_capacity(n, n.saturating_sub(1));
+    for u in 1..n as NodeId {
+        b.add_edge(0, u);
+    }
+    b.build()
+}
+
+/// The §VI lower-bound construction: a line of `spine` stars, each with
+/// `points` leaf nodes. Spine nodes are ids `0..spine`; leaves of spine node
+/// `i` are `spine + i*points .. spine + (i+1)*points`.
+///
+/// With `spine = points = √n` this is the network in which blind gossip
+/// needs `Ω(Δ²·√n) = Ω(Δ²/√α)` rounds.
+pub fn line_of_stars(spine: usize, points: usize) -> Graph {
+    assert!(spine >= 1);
+    let n = spine + spine * points;
+    let mut b = GraphBuilder::with_capacity(n, spine - 1 + spine * points);
+    for i in 1..spine as NodeId {
+        b.add_edge(i - 1, i);
+    }
+    for i in 0..spine {
+        for j in 0..points {
+            b.add_edge(i as NodeId, (spine + i * points + j) as NodeId);
+        }
+    }
+    b.build()
+}
+
+/// Convenience: the symmetric `√n` line-of-stars closest to a target size.
+/// Returns the graph and the chosen `(spine, points)`.
+pub fn line_of_stars_sqrt(n_target: usize) -> (Graph, usize, usize) {
+    let s = (n_target as f64).sqrt().floor().max(1.0) as usize;
+    (line_of_stars(s, s), s, s)
+}
+
+/// Complete bipartite graph `K_{a,b}`: sides `0..a` and `a..a+b`.
+pub fn complete_bipartite(a: usize, b_size: usize) -> Graph {
+    let mut b = GraphBuilder::with_capacity(a + b_size, a * b_size);
+    for u in 0..a as NodeId {
+        for v in 0..b_size as NodeId {
+            b.add_edge(u, a as NodeId + v);
+        }
+    }
+    b.build()
+}
+
+/// Complete `d`-ary tree with `n` nodes (node 0 the root, node `i`'s parent
+/// is `(i-1)/d`).
+pub fn dary_tree(n: usize, d: usize) -> Graph {
+    assert!(d >= 1);
+    let mut b = GraphBuilder::with_capacity(n, n.saturating_sub(1));
+    for u in 1..n {
+        b.add_edge(((u - 1) / d) as NodeId, u as NodeId);
+    }
+    b.build()
+}
+
+/// Hypercube `Q_d` on `2^d` nodes: `u ~ v` iff they differ in one bit.
+/// A classic expander-ish graph with `Δ = d = log n`.
+pub fn hypercube(d: u32) -> Graph {
+    let n = 1usize << d;
+    let mut b = GraphBuilder::with_capacity(n, n * d as usize / 2);
+    for u in 0..n {
+        for bit in 0..d {
+            let v = u ^ (1 << bit);
+            if u < v {
+                b.add_edge(u as NodeId, v as NodeId);
+            }
+        }
+    }
+    b.build()
+}
+
+/// 2-D torus grid `rows × cols` with wraparound. `Δ = 4`, `α = Θ(1/√n)`.
+pub fn torus(rows: usize, cols: usize) -> Graph {
+    assert!(rows >= 3 && cols >= 3, "torus needs both dims ≥ 3 to avoid multi-edges");
+    let n = rows * cols;
+    let id = |r: usize, c: usize| (r * cols + c) as NodeId;
+    let mut b = GraphBuilder::with_capacity(n, 2 * n);
+    for r in 0..rows {
+        for c in 0..cols {
+            b.add_edge(id(r, c), id(r, (c + 1) % cols));
+            b.add_edge(id(r, c), id((r + 1) % rows, c));
+        }
+    }
+    b.build()
+}
+
+/// Barbell: two cliques of size `k` joined by a path of `bridge` nodes.
+/// The classic low-expansion, high-degree graph: `α = Θ(1/k)`.
+pub fn barbell(k: usize, bridge: usize) -> Graph {
+    assert!(k >= 2);
+    let n = 2 * k + bridge;
+    let mut b = GraphBuilder::new(n);
+    for u in 0..k as NodeId {
+        for v in (u + 1)..k as NodeId {
+            b.add_edge(u, v);
+        }
+    }
+    let right = (k + bridge) as NodeId;
+    for u in 0..k as NodeId {
+        for v in (u + 1)..k as NodeId {
+            b.add_edge(right + u, right + v);
+        }
+    }
+    // Chain: clique-A node k-1 — bridge nodes — clique-B node `right`.
+    let mut prev = (k - 1) as NodeId;
+    for i in 0..bridge {
+        let x = (k + i) as NodeId;
+        b.add_edge(prev, x);
+        prev = x;
+    }
+    b.add_edge(prev, right);
+    b.build()
+}
+
+/// Lollipop: a clique of size `k` with a path of `tail` nodes hanging off it.
+pub fn lollipop(k: usize, tail: usize) -> Graph {
+    assert!(k >= 2);
+    let n = k + tail;
+    let mut b = GraphBuilder::new(n);
+    for u in 0..k as NodeId {
+        for v in (u + 1)..k as NodeId {
+            b.add_edge(u, v);
+        }
+    }
+    let mut prev = (k - 1) as NodeId;
+    for i in 0..tail {
+        let x = (k + i) as NodeId;
+        b.add_edge(prev, x);
+        prev = x;
+    }
+    b.build()
+}
+
+/// Random `d`-regular graph via the pairing model with retries: sample a
+/// random perfect matching on `n·d` half-edges, reject self loops/multi-edges,
+/// repeat until simple and connected. Requires `n·d` even and `d < n`.
+///
+/// For constant `d ≥ 3` these are expanders w.h.p. (`α = Θ(1)`).
+pub fn random_regular(n: usize, d: usize, seed: u64) -> Graph {
+    assert!(n * d % 2 == 0, "n·d must be even");
+    assert!(d < n, "degree must be < n");
+    if d == 0 {
+        assert!(n <= 1, "0-regular graph on >1 nodes is disconnected");
+        return GraphBuilder::new(n).build();
+    }
+    let mut rng = SmallRng::seed_from_u64(seed);
+    for _ in 0..1_000 {
+        // Pairing (configuration) model with local swap repair: full
+        // rejection has acceptance probability ≈ e^{-(d²-1)/4}, hopeless for
+        // d ≥ 6, so invalid pairs are fixed by swapping endpoints with
+        // random other pairs instead.
+        let mut stubs: Vec<NodeId> = Vec::with_capacity(n * d);
+        for u in 0..n as NodeId {
+            for _ in 0..d {
+                stubs.push(u);
+            }
+        }
+        stubs.shuffle(&mut rng);
+        let mut pairs: Vec<(NodeId, NodeId)> =
+            stubs.chunks_exact(2).map(|p| (p[0], p[1])).collect();
+        let key = |u: NodeId, v: NodeId| if u < v { (u, v) } else { (v, u) };
+        let mut seen: std::collections::HashMap<(NodeId, NodeId), usize> =
+            std::collections::HashMap::with_capacity(pairs.len());
+        for &(u, v) in &pairs {
+            if u != v {
+                *seen.entry(key(u, v)).or_insert(0) += 1;
+            }
+        }
+        let is_bad = |p: (NodeId, NodeId), seen: &std::collections::HashMap<(NodeId, NodeId), usize>| {
+            p.0 == p.1 || seen.get(&key(p.0, p.1)).copied().unwrap_or(0) > 1
+        };
+        let mut repaired = true;
+        for _ in 0..pairs.len() * 50 {
+            let Some(i) = pairs.iter().position(|&p| is_bad(p, &seen)) else {
+                break;
+            };
+            let j = rng.gen_range(0..pairs.len());
+            if i == j {
+                continue;
+            }
+            let (a, b) = pairs[i];
+            let (c, e) = pairs[j];
+            // Propose (a, e), (c, b).
+            if a == e || c == b {
+                continue;
+            }
+            let k1 = key(a, e);
+            let k2 = key(c, b);
+            if seen.get(&k1).copied().unwrap_or(0) > 0 || seen.get(&k2).copied().unwrap_or(0) > 0 {
+                continue;
+            }
+            if a != b {
+                if let Some(c0) = seen.get_mut(&key(a, b)) {
+                    *c0 -= 1;
+                }
+            }
+            if c != e {
+                if let Some(c0) = seen.get_mut(&key(c, e)) {
+                    *c0 -= 1;
+                }
+            }
+            *seen.entry(k1).or_insert(0) += 1;
+            *seen.entry(k2).or_insert(0) += 1;
+            pairs[i] = (a, e);
+            pairs[j] = (c, b);
+        }
+        if pairs.iter().any(|&p| is_bad(p, &seen)) {
+            repaired = false;
+        }
+        if !repaired {
+            continue;
+        }
+        let mut b = GraphBuilder::with_capacity(n, pairs.len());
+        for &(u, v) in &pairs {
+            b.add_edge(u, v);
+        }
+        let g = b.build();
+        if g.is_connected() && g.degree_sum() == n * d {
+            return g;
+        }
+    }
+    panic!("random_regular({n}, {d}) failed to produce a simple connected graph");
+}
+
+/// Connected Erdős–Rényi `G(n, p)`: sample, then if disconnected, add one
+/// uniformly random edge from each non-giant component to the giant one
+/// (documented patch — keeps the degree distribution essentially intact for
+/// the regimes we use, `p ≥ 2·ln n / n`).
+pub fn erdos_renyi_connected(n: usize, p: f64, seed: u64) -> Graph {
+    assert!((0.0..=1.0).contains(&p));
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n as NodeId {
+        for v in (u + 1)..n as NodeId {
+            if rng.gen_bool(p) {
+                b.add_edge(u, v);
+            }
+        }
+    }
+    let g = b.build();
+    if g.is_connected() || n <= 1 {
+        return g;
+    }
+    // Patch connectivity: link every component to component 0.
+    let labels = g.components();
+    let ncomp = *labels.iter().max().unwrap() as usize + 1;
+    let mut reps: Vec<Vec<NodeId>> = vec![Vec::new(); ncomp];
+    for (u, &l) in labels.iter().enumerate() {
+        reps[l as usize].push(u as NodeId);
+    }
+    let mut extra = Vec::new();
+    for comp in reps.iter().skip(1) {
+        let a = *comp.choose(&mut rng).unwrap();
+        let b0 = *reps[0].choose(&mut rng).unwrap();
+        extra.push((a, b0));
+    }
+    g.with_edges(&extra)
+}
+
+/// "Dumbbell expander": two random `d`-regular expanders joined by a single
+/// edge. Low global expansion (`α = Θ(1/n)`) despite high local expansion —
+/// a stress case distinct from the barbell's huge `Δ`.
+pub fn dumbbell_expander(half: usize, d: usize, seed: u64) -> Graph {
+    let a = random_regular(half, d, seed);
+    let b = random_regular(half, d, seed ^ 0x9E37_79B9);
+    a.disjoint_union(&b).with_edges(&[(0, half as NodeId)])
+}
+
+/// Barabási–Albert preferential attachment: start from a clique on `m0 =
+/// m+1` nodes; each subsequent node attaches `m` edges to existing nodes
+/// chosen proportionally to degree (sampled by picking a uniform endpoint
+/// of a uniform existing edge). Produces the heavy-tailed degree
+/// distributions typical of real contact networks: a few high-degree hubs,
+/// many low-degree leaves — connected by construction.
+pub fn preferential_attachment(n: usize, m: usize, seed: u64) -> Graph {
+    assert!(m >= 1, "each new node needs ≥ 1 edge");
+    assert!(n > m, "need n > m");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    // Flat endpoint list: each edge contributes both endpoints, so a
+    // uniform draw from it is a degree-proportional node draw.
+    let mut endpoints: Vec<NodeId> = Vec::with_capacity(2 * n * m);
+    let m0 = m + 1;
+    for u in 0..m0 as NodeId {
+        for v in (u + 1)..m0 as NodeId {
+            b.add_edge(u, v);
+            endpoints.push(u);
+            endpoints.push(v);
+        }
+    }
+    let mut chosen: Vec<NodeId> = Vec::with_capacity(m);
+    for u in m0 as NodeId..n as NodeId {
+        chosen.clear();
+        let mut guard = 0;
+        while chosen.len() < m {
+            let t = endpoints[rng.gen_range(0..endpoints.len())];
+            if !chosen.contains(&t) {
+                chosen.push(t);
+            }
+            guard += 1;
+            assert!(guard < 10_000, "preferential attachment sampling stuck");
+        }
+        for &t in &chosen {
+            b.add_edge(u, t);
+            endpoints.push(u);
+            endpoints.push(t);
+        }
+    }
+    b.build()
+}
+
+/// Star-of-cliques used in the classical-vs-mobile comparison (F6): a hub
+/// node connected to `k` cliques of size `m` (one edge hub→each clique).
+pub fn star_of_cliques(k: usize, m: usize) -> Graph {
+    assert!(m >= 1);
+    let n = 1 + k * m;
+    let mut b = GraphBuilder::new(n);
+    for c in 0..k {
+        let base = (1 + c * m) as NodeId;
+        for i in 0..m as NodeId {
+            for j in (i + 1)..m as NodeId {
+                b.add_edge(base + i, base + j);
+            }
+        }
+        b.add_edge(0, base);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clique_shape() {
+        let g = clique(6);
+        assert_eq!(g.node_count(), 6);
+        assert_eq!(g.edge_count(), 15);
+        assert_eq!(g.max_degree(), 5);
+        assert_eq!(g.min_degree(), 5);
+        assert!(g.is_connected());
+        assert_eq!(g.diameter(), Some(1));
+    }
+
+    #[test]
+    fn path_shape() {
+        let g = path(5);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.max_degree(), 2);
+        assert_eq!(g.min_degree(), 1);
+        assert_eq!(g.diameter(), Some(4));
+    }
+
+    #[test]
+    fn cycle_shape() {
+        let g = cycle(6);
+        assert_eq!(g.edge_count(), 6);
+        assert_eq!(g.max_degree(), 2);
+        assert_eq!(g.min_degree(), 2);
+        assert_eq!(g.diameter(), Some(3));
+    }
+
+    #[test]
+    fn cycle_degenerate_sizes() {
+        assert_eq!(cycle(1).edge_count(), 0);
+        assert_eq!(cycle(3).edge_count(), 3);
+    }
+
+    #[test]
+    fn star_shape() {
+        let g = star(7);
+        assert_eq!(g.degree(0), 6);
+        for u in 1..7 {
+            assert_eq!(g.degree(u), 1);
+        }
+        assert_eq!(g.diameter(), Some(2));
+    }
+
+    #[test]
+    fn line_of_stars_shape() {
+        // 4 stars of 3 points: 4 spine + 12 leaves.
+        let g = line_of_stars(4, 3);
+        assert_eq!(g.node_count(), 16);
+        assert!(g.is_connected());
+        // Interior spine nodes: 2 spine neighbors + 3 leaves.
+        assert_eq!(g.degree(1), 5);
+        assert_eq!(g.degree(2), 5);
+        // End spine nodes: 1 spine neighbor + 3 leaves.
+        assert_eq!(g.degree(0), 4);
+        assert_eq!(g.degree(3), 4);
+        // Leaves have degree 1.
+        assert_eq!(g.degree(4), 1);
+        assert_eq!(g.max_degree(), 5);
+    }
+
+    #[test]
+    fn line_of_stars_sqrt_sizing() {
+        let (g, s, p) = line_of_stars_sqrt(100);
+        assert_eq!(s, 10);
+        assert_eq!(p, 10);
+        assert_eq!(g.node_count(), 110);
+    }
+
+    #[test]
+    fn complete_bipartite_shape() {
+        let g = complete_bipartite(3, 4);
+        assert_eq!(g.node_count(), 7);
+        assert_eq!(g.edge_count(), 12);
+        assert_eq!(g.degree(0), 4);
+        assert_eq!(g.degree(3), 3);
+        assert!(!g.has_edge(0, 1));
+        assert!(g.has_edge(0, 3));
+    }
+
+    #[test]
+    fn dary_tree_shape() {
+        let g = dary_tree(7, 2); // perfect binary tree of depth 2
+        assert_eq!(g.edge_count(), 6);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(1), 3);
+        assert_eq!(g.degree(6), 1);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn hypercube_shape() {
+        let g = hypercube(4);
+        assert_eq!(g.node_count(), 16);
+        assert_eq!(g.edge_count(), 32);
+        assert_eq!(g.max_degree(), 4);
+        assert_eq!(g.min_degree(), 4);
+        assert_eq!(g.diameter(), Some(4));
+    }
+
+    #[test]
+    fn torus_shape() {
+        let g = torus(4, 5);
+        assert_eq!(g.node_count(), 20);
+        assert_eq!(g.edge_count(), 40);
+        assert_eq!(g.max_degree(), 4);
+        assert_eq!(g.min_degree(), 4);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn barbell_shape() {
+        let g = barbell(4, 2);
+        assert_eq!(g.node_count(), 10);
+        assert!(g.is_connected());
+        assert_eq!(g.edge_count(), 2 * 6 + 3);
+        assert_eq!(g.max_degree(), 4); // clique node adjacent to bridge
+    }
+
+    #[test]
+    fn lollipop_shape() {
+        let g = lollipop(4, 3);
+        assert_eq!(g.node_count(), 7);
+        assert!(g.is_connected());
+        assert_eq!(g.degree(6), 1);
+    }
+
+    #[test]
+    fn random_regular_is_regular_connected() {
+        for seed in 0..5 {
+            let g = random_regular(24, 3, seed);
+            assert!(g.is_connected());
+            for u in 0..24u32 {
+                assert_eq!(g.degree(u), 3, "node {u} not 3-regular (seed {seed})");
+            }
+        }
+    }
+
+    #[test]
+    fn random_regular_deterministic_per_seed() {
+        let a = random_regular(20, 4, 9);
+        let b = random_regular(20, 4, 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn erdos_renyi_connected_is_connected() {
+        for seed in 0..5 {
+            let g = erdos_renyi_connected(40, 0.05, seed);
+            assert!(g.is_connected(), "seed {seed} disconnected");
+            assert_eq!(g.node_count(), 40);
+        }
+    }
+
+    #[test]
+    fn erdos_renyi_extremes() {
+        let empty_p = erdos_renyi_connected(10, 0.0, 1);
+        assert!(empty_p.is_connected()); // fully patched into a tree-ish graph
+        assert_eq!(empty_p.edge_count(), 9);
+        let full = erdos_renyi_connected(10, 1.0, 1);
+        assert_eq!(full.edge_count(), 45);
+    }
+
+    #[test]
+    fn dumbbell_shape() {
+        let g = dumbbell_expander(16, 3, 5);
+        assert_eq!(g.node_count(), 32);
+        assert!(g.is_connected());
+        assert_eq!(g.max_degree(), 4); // bridge endpoints gain one
+    }
+
+    #[test]
+    fn preferential_attachment_shape() {
+        let g = preferential_attachment(100, 3, 7);
+        assert_eq!(g.node_count(), 100);
+        assert!(g.is_connected());
+        // Every node beyond the seed clique attaches exactly m = 3 edges
+        // (possibly deduplicated against none since targets are distinct):
+        // |E| = C(4,2) + 96·3 = 6 + 288.
+        assert_eq!(g.edge_count(), 6 + 96 * 3);
+        assert!(g.min_degree() >= 3);
+        // Heavy tail: the max degree should far exceed the minimum.
+        assert!(g.max_degree() >= 3 * g.min_degree(), "Δ = {}", g.max_degree());
+    }
+
+    #[test]
+    fn preferential_attachment_deterministic() {
+        assert_eq!(preferential_attachment(50, 2, 3), preferential_attachment(50, 2, 3));
+        assert_ne!(preferential_attachment(50, 2, 3), preferential_attachment(50, 2, 4));
+    }
+
+    #[test]
+    fn star_of_cliques_shape() {
+        let g = star_of_cliques(3, 4);
+        assert_eq!(g.node_count(), 13);
+        assert!(g.is_connected());
+        assert_eq!(g.degree(0), 3);
+    }
+}

@@ -1,0 +1,180 @@
+//! Graph serialization: a plain edge-list text format and JSON.
+//!
+//! The text format is one `u v` pair per line, `#` comments and blank
+//! lines ignored, with an optional leading `n <count>` line for isolated
+//! trailing nodes. It round-trips any [`Graph`] and lets the CLI run
+//! experiments on user-supplied topologies (e.g. real contact traces).
+
+use crate::static_graph::{Graph, GraphBuilder, NodeId};
+
+/// Errors from parsing the edge-list format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// A line didn't contain two integers (or a valid `n` header).
+    BadLine { line_no: usize, content: String },
+    /// An endpoint exceeded the declared node count.
+    OutOfRange { line_no: usize, node: u64 },
+    /// A self loop was declared.
+    SelfLoop { line_no: usize, node: NodeId },
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::BadLine { line_no, content } => {
+                write!(f, "line {line_no}: cannot parse {content:?} as `u v`")
+            }
+            ParseError::OutOfRange { line_no, node } => {
+                write!(f, "line {line_no}: node {node} out of declared range")
+            }
+            ParseError::SelfLoop { line_no, node } => {
+                write!(f, "line {line_no}: self loop at node {node}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Serialize a graph to the edge-list text format.
+pub fn to_edge_list(g: &Graph) -> String {
+    let mut out = String::with_capacity(g.edge_count() * 8 + 32);
+    out.push_str(&format!("n {}\n", g.node_count()));
+    for (u, v) in g.edges() {
+        out.push_str(&format!("{u} {v}\n"));
+    }
+    out
+}
+
+/// Parse the edge-list text format.
+pub fn from_edge_list(text: &str) -> Result<Graph, ParseError> {
+    let mut declared_n: Option<usize> = None;
+    let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
+    let mut max_node: u64 = 0;
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let first = parts.next().unwrap();
+        if first == "n" {
+            let n = parts
+                .next()
+                .and_then(|s| s.parse::<usize>().ok())
+                .ok_or_else(|| ParseError::BadLine { line_no, content: raw.to_string() })?;
+            declared_n = Some(n);
+            continue;
+        }
+        let u: u64 = first
+            .parse()
+            .map_err(|_| ParseError::BadLine { line_no, content: raw.to_string() })?;
+        let v: u64 = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| ParseError::BadLine { line_no, content: raw.to_string() })?;
+        if parts.next().is_some() {
+            return Err(ParseError::BadLine { line_no, content: raw.to_string() });
+        }
+        if u == v {
+            return Err(ParseError::SelfLoop { line_no, node: u as NodeId });
+        }
+        if let Some(n) = declared_n {
+            if u >= n as u64 || v >= n as u64 {
+                return Err(ParseError::OutOfRange { line_no, node: u.max(v) });
+            }
+        }
+        max_node = max_node.max(u).max(v);
+        edges.push((u as NodeId, v as NodeId));
+    }
+    let n = declared_n.unwrap_or(if edges.is_empty() { 0 } else { max_node as usize + 1 });
+    let mut b = GraphBuilder::with_capacity(n, edges.len());
+    for (u, v) in edges {
+        b.add_edge(u, v);
+    }
+    Ok(b.build())
+}
+
+/// Serialize a graph to JSON (via the CSR serde representation).
+pub fn to_json(g: &Graph) -> String {
+    serde_json::to_string(g).expect("graph serialization cannot fail")
+}
+
+/// Parse a graph from its JSON representation, validating the CSR
+/// invariants (the JSON may come from untrusted input).
+pub fn from_json(text: &str) -> Result<Graph, String> {
+    let g: Graph = serde_json::from_str(text).map_err(|e| e.to_string())?;
+    g.validate()?;
+    Ok(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn edge_list_round_trip() {
+        for g in [gen::clique(6), gen::path(5), gen::line_of_stars(3, 3), gen::star(8)] {
+            let text = to_edge_list(&g);
+            let back = from_edge_list(&text).unwrap();
+            assert_eq!(g, back);
+        }
+    }
+
+    #[test]
+    fn edge_list_with_comments_and_blanks() {
+        let text = "# a triangle\nn 3\n\n0 1\n1 2\n# done\n2 0\n";
+        let g = from_edge_list(text).unwrap();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+    }
+
+    #[test]
+    fn edge_list_without_header_infers_n() {
+        let g = from_edge_list("0 1\n1 4\n").unwrap();
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.degree(2), 0); // isolated intermediate node
+    }
+
+    #[test]
+    fn edge_list_errors() {
+        assert!(matches!(
+            from_edge_list("0 zebra"),
+            Err(ParseError::BadLine { line_no: 1, .. })
+        ));
+        assert!(matches!(
+            from_edge_list("n 2\n0 5"),
+            Err(ParseError::OutOfRange { line_no: 2, node: 5 })
+        ));
+        assert!(matches!(
+            from_edge_list("3 3"),
+            Err(ParseError::SelfLoop { line_no: 1, node: 3 })
+        ));
+        assert!(matches!(
+            from_edge_list("0 1 2"),
+            Err(ParseError::BadLine { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_input_is_empty_graph() {
+        let g = from_edge_list("").unwrap();
+        assert_eq!(g.node_count(), 0);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let g = gen::hypercube(3);
+        let back = from_json(&to_json(&g)).unwrap();
+        assert_eq!(g, back);
+    }
+
+    #[test]
+    fn parse_error_display() {
+        let e = from_edge_list("oops").unwrap_err();
+        assert!(e.to_string().contains("line 1"));
+    }
+}

@@ -1,0 +1,177 @@
+//! Property-based tests for the graph substrate.
+//!
+//! The headline property is the paper's Lemma V.1: for every graph,
+//! `γ = min_S ν(B(S))/|S| ≥ α/4`. We check it on arbitrary random connected
+//! graphs, along with structural invariants of the CSR representation,
+//! generators, and dynamic adversaries.
+
+use mtm_graph::dynamic::{DynamicTopology, EdgeSwapAdversary, RelabelingAdversary};
+use mtm_graph::expansion::{alpha_exact, alpha_of_set, boundary_size};
+use mtm_graph::matching::{brute_force_matching, cut_matching, gamma_exact, hopcroft_karp};
+use mtm_graph::static_graph::from_edges;
+use mtm_graph::{gen, Graph, GraphBuilder};
+use proptest::prelude::*;
+
+/// Strategy: an arbitrary connected graph on 2..=n_max nodes, built by a
+/// random spanning tree plus random extra edges.
+fn connected_graph(n_max: usize) -> impl Strategy<Value = Graph> {
+    (2..=n_max).prop_flat_map(move |n| {
+        let tree_parents = proptest::collection::vec(0u32..u32::MAX, n - 1);
+        let extra = proptest::collection::vec((0u32..n as u32, 0u32..n as u32), 0..n * 2);
+        (tree_parents, extra).prop_map(move |(parents, extra)| {
+            let mut b = GraphBuilder::new(n);
+            for (i, p) in parents.iter().enumerate() {
+                let child = (i + 1) as u32;
+                b.add_edge(child, p % child);
+            }
+            for (u, v) in extra {
+                if u != v {
+                    b.add_edge(u, v);
+                }
+            }
+            b.build()
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn csr_symmetry_and_sorted(g in connected_graph(40)) {
+        for u in 0..g.node_count() as u32 {
+            let nbrs = g.neighbors(u);
+            prop_assert!(nbrs.windows(2).all(|w| w[0] < w[1]), "unsorted or duplicate neighbors");
+            for &v in nbrs {
+                prop_assert!(v != u, "self loop");
+                prop_assert!(g.has_edge(v, u), "asymmetric edge");
+            }
+        }
+        prop_assert_eq!(g.degree_sum(), 2 * g.edge_count());
+    }
+
+    #[test]
+    fn connected_strategy_is_connected(g in connected_graph(40)) {
+        prop_assert!(g.is_connected());
+    }
+
+    #[test]
+    fn lemma_v1_gamma_ge_alpha_over_4(g in connected_graph(12)) {
+        let gamma = gamma_exact(&g);
+        let alpha = alpha_exact(&g);
+        prop_assert!(gamma >= alpha / 4.0 - 1e-9,
+            "γ = {} < α/4 = {}", gamma, alpha / 4.0);
+    }
+
+    #[test]
+    fn alpha_exact_bounded_and_positive(g in connected_graph(14)) {
+        // Note: the paper's "α ≤ 1" claim presumes a balanced cut
+        // |S| = n/2 exists; for odd n the best balanced cut has
+        // |S| = ⌊n/2⌋, so the tight upper bound is ⌈n/2⌉/⌊n/2⌋
+        // (e.g. α(K_3) = 2).
+        let n = g.node_count();
+        let cap = (n - n / 2) as f64 / (n / 2) as f64;
+        let a = alpha_exact(&g);
+        prop_assert!(a > 0.0 && a <= cap + 1e-12, "α = {} > cap {}", a, cap);
+    }
+
+    #[test]
+    fn matching_le_boundary_any_cut(
+        g in connected_graph(14),
+        mask_bits in any::<u64>(),
+    ) {
+        let n = g.node_count();
+        let mut in_s: Vec<bool> = (0..n).map(|u| mask_bits & (1 << u) != 0).collect();
+        if in_s.iter().all(|&b| !b) {
+            in_s[0] = true;
+        }
+        if in_s.iter().all(|&b| b) {
+            in_s[n - 1] = false;
+        }
+        let m = cut_matching(&g, &in_s);
+        let b = boundary_size(&g, &in_s);
+        prop_assert!(m <= b, "ν(B(S)) = {} > |∂S| = {}", m, b);
+        // A connected graph with a proper nonempty cut always crosses it.
+        prop_assert!(m >= 1, "connected graph must have ≥1 crossing edge");
+        let a = alpha_of_set(&g, &in_s);
+        prop_assert!(a > 0.0);
+    }
+
+    #[test]
+    fn hopcroft_karp_matches_brute_force(
+        edges in proptest::collection::vec((0u32..6, 0u32..6), 0..18)
+    ) {
+        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); 6];
+        for (l, r) in edges {
+            if !adj[l as usize].contains(&r) {
+                adj[l as usize].push(r);
+            }
+        }
+        prop_assert_eq!(hopcroft_karp(&adj, 6), brute_force_matching(&adj, 6));
+    }
+
+    #[test]
+    fn relabeling_adversary_iso_invariants(
+        seed in any::<u64>(),
+        tau in 1u64..5,
+    ) {
+        let base = gen::line_of_stars(3, 3);
+        let expect_deg = base.degree_sequence();
+        let expect_edges = base.edge_count();
+        let mut adv = RelabelingAdversary::new(base, tau, seed);
+        let mut last: Option<Graph> = None;
+        for round in 1..=3 * tau {
+            let g = adv.graph_at(round).clone();
+            prop_assert_eq!(g.degree_sequence(), expect_deg.clone());
+            prop_assert_eq!(g.edge_count(), expect_edges);
+            prop_assert!(g.is_connected());
+            // Stability: within an epoch the graph must not change.
+            if (round - 1) % tau != 0 {
+                prop_assert_eq!(last.as_ref().unwrap(), &g, "changed inside τ window");
+            }
+            last = Some(g);
+        }
+    }
+
+    #[test]
+    fn edge_swap_adversary_preserves_degrees(
+        seed in any::<u64>(),
+    ) {
+        let base = gen::random_regular(16, 4, seed % 100);
+        let expect = base.degree_sequence();
+        let mut adv = EdgeSwapAdversary::new(base, 1, 6, seed);
+        for round in 1..=6 {
+            let g = adv.graph_at(round);
+            prop_assert_eq!(g.degree_sequence(), expect.clone());
+            prop_assert!(g.is_connected());
+        }
+    }
+
+    #[test]
+    fn bfs_distances_are_metric_like(g in connected_graph(24)) {
+        let d0 = g.bfs_distances(0);
+        for u in 0..g.node_count() as u32 {
+            prop_assert!(d0[u as usize] != u32::MAX, "unreachable in connected graph");
+            for &v in g.neighbors(u) {
+                let du = d0[u as usize] as i64;
+                let dv = d0[v as usize] as i64;
+                prop_assert!((du - dv).abs() <= 1, "BFS distance jump across an edge");
+            }
+        }
+    }
+
+    #[test]
+    fn from_edges_respects_input(edge_bits in proptest::collection::vec(any::<(u8, u8)>(), 1..30)) {
+        let n = 12;
+        let edges: Vec<(u32, u32)> = edge_bits
+            .into_iter()
+            .map(|(a, b)| ((a % n) as u32, (b % n) as u32))
+            .filter(|(a, b)| a != b)
+            .collect();
+        prop_assume!(!edges.is_empty());
+        let g = from_edges(n as usize, &edges);
+        for &(u, v) in &edges {
+            prop_assert!(g.has_edge(u, v));
+        }
+    }
+}

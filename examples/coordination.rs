@@ -1,0 +1,103 @@
+//! Coordination stack: elect → agree → order → count, all in-model.
+//!
+//! The paper's introduction argues leader election "supports the
+//! development of more sophisticated distributed systems by simplifying
+//! tasks such as event ordering, agreement, and synchronization." This
+//! example runs that whole stack over one mesh:
+//!
+//! 1. **elect** a leader with bit convergence (`b = 1`);
+//! 2. **agree** on a configuration bit with leader-based consensus;
+//! 3. **order** one event per phone via the elected sequencer;
+//! 4. **count** the mesh with gossip size estimation.
+//!
+//! Every stage respects the mobile telephone model's constraints (one
+//! connection per node per round, constant-size payloads).
+//!
+//! Run with: `cargo run --release --example coordination`
+
+use mobile_telephone::apps::aggregation::ESTIMATOR_WIDTH;
+use mobile_telephone::prelude::*;
+
+fn main() {
+    let seed = 11;
+    let n = 48;
+    let graph = GraphFamily::Expander8.build(n, seed);
+    let uids = UidPool::random(n, seed);
+    println!("mesh: 8-regular expander, n = {n}\n");
+
+    // 1. Elect.
+    let config = TagConfig::for_network(n, graph.max_degree());
+    let mut election = Engine::new(
+        StaticTopology::new(graph.clone()),
+        ModelParams::mobile(1),
+        ActivationSchedule::synchronized(n),
+        BitConvergence::spawn(&uids, config, seed),
+        seed,
+    );
+    let elected = election.run_to_stabilization(10_000_000);
+    let leader_uid = elected.winner.expect("election stabilizes");
+    let leader_index = uids.as_slice().iter().position(|&u| u == leader_uid).unwrap();
+    println!(
+        "1. elect:  leader {leader_uid:#018x} in {} rounds (bit convergence, b = 1)",
+        elected.stabilized_round.unwrap()
+    );
+
+    // 2. Agree: each phone proposes "encrypt on" iff its index is even;
+    // the decision is the leader's preference.
+    let inputs: Vec<(u64, bool)> =
+        uids.as_slice().iter().enumerate().map(|(i, &u)| (u, i % 2 == 0)).collect();
+    let mut consensus = Engine::new(
+        StaticTopology::new(graph.clone()),
+        ModelParams::mobile(0),
+        ActivationSchedule::synchronized(n),
+        LeaderConsensus::spawn(&inputs),
+        seed ^ 1,
+    );
+    let agreed = consensus.run_to_stabilization(10_000_000);
+    println!(
+        "2. agree:  decision = {} in {} rounds (consensus follows the min-UID holder)",
+        consensus.node(0).decision(),
+        agreed.stabilized_round.unwrap()
+    );
+
+    // 3. Order: the leader sequences one event per phone.
+    let mut params = ModelParams::mobile(0);
+    params.max_payload_bits = 64;
+    let mut ordering = Engine::new(
+        StaticTopology::new(graph.clone()),
+        params,
+        ActivationSchedule::synchronized(n),
+        EventOrdering::spawn(uids.as_slice(), leader_index),
+        seed ^ 2,
+    );
+    use mobile_telephone::apps::ordering::EventOrdering;
+    let done = ordering
+        .run_until(10_000_000, |e| e.nodes().iter().all(|p| p.known_count() == n))
+        .expect("ordering completes");
+    let order = ordering.node(0).known_assignments();
+    println!(
+        "3. order:  {n} events sequenced in {done} rounds (seq 0 → {:#018x}, the leader)",
+        order[0].event
+    );
+
+    // 4. Count: extrema-propagation size estimate.
+    let mut params = ModelParams::mobile(0);
+    params.max_payload_bits = (ESTIMATOR_WIDTH * 64) as u32;
+    let mut counting = Engine::new(
+        StaticTopology::new(graph),
+        params,
+        ActivationSchedule::synchronized(n),
+        SizeEstimator::spawn(n, seed ^ 3),
+        seed ^ 4,
+    );
+    let converged = counting
+        .run_until(10_000_000, |e| {
+            let first = e.node(0).minima();
+            e.nodes().iter().all(|p| p.minima() == first)
+        })
+        .expect("estimates converge");
+    println!(
+        "4. count:  n̂ = {:.1} (true n = {n}) in {converged} rounds (extrema propagation)",
+        counting.node(0).estimate()
+    );
+}

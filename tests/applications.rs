@@ -1,0 +1,119 @@
+//! Integration tests for the application layer (`mtm-apps`): the
+//! coordination primitives the paper's introduction motivates, composed
+//! with actual leader election.
+
+use mobile_telephone::apps::ordering::EventOrdering;
+use mobile_telephone::prelude::*;
+
+/// Full pipeline: elect a leader with bit convergence, then use that
+/// leader as the sequencer for total-order event assignment.
+#[test]
+fn elect_then_order_pipeline() {
+    let seed = 5;
+    let g = gen::random_regular(16, 4, seed);
+    let n = g.node_count();
+    let uids = UidPool::random(n, seed);
+
+    // Stage 1: leader election (b = 1).
+    let config = TagConfig::for_network(n, g.max_degree());
+    let nodes = BitConvergence::spawn(&uids, config, seed);
+    let mut election = Engine::new(
+        StaticTopology::new(g.clone()),
+        ModelParams::mobile(1),
+        ActivationSchedule::synchronized(n),
+        nodes,
+        seed,
+    );
+    let outcome = election.run_to_stabilization(10_000_000);
+    let leader_uid = outcome.winner.expect("election must stabilize");
+    let leader_index = uids.as_slice().iter().position(|&u| u == leader_uid).unwrap();
+
+    // Stage 2: the elected leader becomes the sequencer.
+    let mut params = ModelParams::mobile(0);
+    params.max_payload_bits = 64;
+    let mut ordering = Engine::new(
+        StaticTopology::new(g),
+        params,
+        ActivationSchedule::synchronized(n),
+        EventOrdering::spawn(uids.as_slice(), leader_index),
+        seed ^ 1,
+    );
+    let done = ordering.run_until(10_000_000, |e| {
+        e.nodes().iter().all(|p| p.known_count() == n)
+    });
+    assert!(done.is_some(), "ordering must complete");
+
+    // Every node holds the identical total order, and the leader's own
+    // event is sequence 0.
+    let reference = ordering.node(0).known_assignments();
+    assert_eq!(reference[0].event, leader_uid);
+    for u in 1..n {
+        assert_eq!(ordering.node(u).known_assignments(), reference, "node {u} diverged");
+    }
+}
+
+#[test]
+fn consensus_composes_with_dynamic_topology() {
+    // Binary consensus over a churning network: agreement on the min-UID
+    // holder's input even at τ = 1.
+    let base = gen::line_of_stars(3, 3);
+    let n = base.node_count();
+    let inputs: Vec<(u64, bool)> = (0..n).map(|i| ((i as u64) * 31 + 5, i % 2 == 0)).collect();
+    let expect = inputs.iter().min_by_key(|(u, _)| u).unwrap().1;
+    let mut e = Engine::new(
+        RelabelingAdversary::new(base, 1, 7),
+        ModelParams::mobile(0),
+        ActivationSchedule::synchronized(n),
+        LeaderConsensus::spawn(&inputs),
+        8,
+    );
+    let out = e.run_to_stabilization(20_000_000);
+    assert!(out.stabilized_round.is_some());
+    for (u, node) in e.nodes().iter().enumerate() {
+        assert_eq!(node.decision(), expect, "node {u} decided wrong value");
+    }
+}
+
+#[test]
+fn aggregation_min_matches_blind_gossip_bound_behaviour() {
+    // MinGossip is structurally blind gossip; on the same topology and
+    // seeds it should converge (and to the true minimum).
+    let g = gen::line_of_stars(4, 4);
+    let n = g.node_count();
+    let values: Vec<u64> = (0..n as u64).map(|i| i * 17 % 97 + 1).collect();
+    let true_min = *values.iter().min().unwrap();
+    let mut e = Engine::new(
+        StaticTopology::new(g),
+        ModelParams::mobile(0),
+        ActivationSchedule::synchronized(n),
+        MinGossip::spawn(&values),
+        6,
+    );
+    let done = e.run_until(10_000_000, |e| {
+        e.nodes().iter().all(|p| p.current_min() == true_min)
+    });
+    assert!(done.is_some());
+}
+
+#[test]
+fn size_estimation_under_isolating_adversary() {
+    // Even a hostile topology sequence only delays extrema propagation.
+    let n = 4 + 4 * 4; // isolating adversary's line-of-stars size
+    let topo = IsolatingAdversary::new(4, 4, 0, 1, 3);
+    let mut params = ModelParams::mobile(0);
+    params.max_payload_bits = (mobile_telephone::apps::aggregation::ESTIMATOR_WIDTH * 64) as u32;
+    let mut e = Engine::new(
+        topo,
+        params,
+        ActivationSchedule::synchronized(n),
+        SizeEstimator::spawn(n, 4),
+        5,
+    );
+    let done = e.run_until(10_000_000, |e| {
+        let first = e.node(0).minima();
+        e.nodes().iter().all(|p| p.minima() == first)
+    });
+    assert!(done.is_some(), "extrema must converge despite the adversary");
+    let est = e.node(0).estimate();
+    assert!(est > n as f64 * 0.3 && est < n as f64 * 3.0, "estimate {est} vs n = {n}");
+}

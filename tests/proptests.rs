@@ -1,0 +1,201 @@
+//! Cross-crate property tests: for arbitrary topologies, seeds, and
+//! schedules, the system-level invariants of the leader election problem
+//! hold.
+
+use mobile_telephone::prelude::*;
+use proptest::prelude::*;
+
+/// Strategy: a small connected graph from a random family and size.
+fn arb_family() -> impl Strategy<Value = GraphFamily> {
+    prop::sample::select(vec![
+        GraphFamily::Clique,
+        GraphFamily::Path,
+        GraphFamily::Cycle,
+        GraphFamily::Star,
+        GraphFamily::LineOfStars,
+        GraphFamily::Expander3,
+        GraphFamily::BinaryTree,
+    ])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn blind_gossip_always_elects_min_uid(
+        family in arb_family(),
+        n in 4usize..14,
+        seed in any::<u64>(),
+    ) {
+        let g = family.build(n, seed);
+        let n_actual = g.node_count();
+        let uids = UidPool::random(n_actual, seed ^ 1);
+        let mut e = Engine::new(
+            StaticTopology::new(g),
+            ModelParams::mobile(0),
+            ActivationSchedule::synchronized(n_actual),
+            BlindGossip::spawn(&uids),
+            seed ^ 2,
+        );
+        let out = e.run_to_stabilization(20_000_000);
+        prop_assert_eq!(out.winner, Some(uids.min_uid()));
+    }
+
+    #[test]
+    fn leader_is_always_a_real_uid_at_every_round(
+        family in arb_family(),
+        seed in any::<u64>(),
+    ) {
+        let g = family.build(10, seed);
+        let n = g.node_count();
+        let uids = UidPool::random(n, seed ^ 3);
+        let uid_set: std::collections::HashSet<u64> = uids.as_slice().iter().copied().collect();
+        let mut e = Engine::new(
+            StaticTopology::new(g),
+            ModelParams::mobile(0),
+            ActivationSchedule::synchronized(n),
+            BlindGossip::spawn(&uids),
+            seed ^ 4,
+        );
+        for _ in 0..200 {
+            e.step();
+            for u in 0..n {
+                let leader = e.node(u).leader();
+                prop_assert!(uid_set.contains(&leader),
+                    "node {} points at a UID that does not exist: {:#x}", u, leader);
+            }
+        }
+    }
+
+    #[test]
+    fn blind_gossip_leader_is_monotone_per_node(
+        seed in any::<u64>(),
+    ) {
+        let g = gen::random_regular(12, 3, seed % 1000);
+        let uids = UidPool::random(12, seed ^ 5);
+        let mut e = Engine::new(
+            StaticTopology::new(g),
+            ModelParams::mobile(0),
+            ActivationSchedule::synchronized(12),
+            BlindGossip::spawn(&uids),
+            seed ^ 6,
+        );
+        let mut last: Vec<u64> = (0..12).map(|u| e.node(u).leader()).collect();
+        for _ in 0..300 {
+            e.step();
+            for u in 0..12 {
+                let now = e.node(u).leader();
+                prop_assert!(now <= last[u], "node {} leader increased {} -> {}", u, last[u], now);
+                last[u] = now;
+            }
+        }
+    }
+
+    #[test]
+    fn bit_convergence_winner_is_min_pair(
+        family in arb_family(),
+        seed in any::<u64>(),
+    ) {
+        let g = family.build(12, seed);
+        let n = g.node_count();
+        let uids = UidPool::random(n, seed ^ 7);
+        let config = TagConfig::for_network(n, g.max_degree());
+        let nodes = BitConvergence::spawn(&uids, config, seed ^ 8);
+        // The paper's analysis assumes all ID tags are unique (w.h.p. via
+        // β·log N bits). At n = 12 with k ≈ 11 bits the birthday collision
+        // probability is a few percent, and a collision on the *minimal*
+        // tag deadlocks stabilization (see experiment A1) — so, like the
+        // analysis, condition on uniqueness.
+        let mut tags: Vec<u64> = nodes.iter().map(|p| p.active_pair().tag).collect();
+        tags.sort_unstable();
+        prop_assume!(tags.windows(2).all(|w| w[0] != w[1]));
+        let expect = nodes.iter().map(|p| p.active_pair()).min().unwrap().uid;
+        let mut e = Engine::new(
+            StaticTopology::new(g),
+            ModelParams::mobile(1),
+            ActivationSchedule::synchronized(n),
+            nodes,
+            seed ^ 9,
+        );
+        let out = e.run_to_stabilization(20_000_000);
+        prop_assert_eq!(out.winner, Some(expect));
+    }
+
+    #[test]
+    fn nonsync_converges_under_arbitrary_activation_schedules(
+        seed in any::<u64>(),
+        window in 1u64..120,
+    ) {
+        let g = gen::random_regular(10, 3, seed % 999);
+        let n = g.node_count();
+        let uids = UidPool::random(n, seed ^ 10);
+        let config = TagConfig::for_network(n, 3);
+        let nodes = NonSyncBitConvergence::spawn(&uids, config, seed ^ 11);
+        // Condition on unique ID tags, as the paper's analysis does: a
+        // collision on the minimal tag deadlocks stabilization (nodes with
+        // identical tags advertise identical bits and never connect — the
+        // failure mode experiment A1 documents).
+        let mut tags: Vec<u64> = nodes.iter().map(|p| p.best_pair().tag).collect();
+        tags.sort_unstable();
+        prop_assume!(tags.windows(2).all(|w| w[0] != w[1]));
+        let expect = nodes.iter().map(|p| p.best_pair()).min().unwrap().uid;
+        let mut e = Engine::new(
+            StaticTopology::new(g),
+            ModelParams::mobile(config.nonsync_tag_bits()),
+            ActivationSchedule::staggered_uniform(n, window, seed ^ 12),
+            nodes,
+            seed ^ 13,
+        );
+        let out = e.run_to_stabilization(20_000_000);
+        prop_assert_eq!(out.winner, Some(expect));
+    }
+
+    #[test]
+    fn engine_conservation_under_random_protocol_mix(
+        seed in any::<u64>(),
+        rounds in 10u64..200,
+    ) {
+        // Proposals are partitioned into connections and rejections, and
+        // per-round connections never exceed n/2, for arbitrary seeds.
+        let g = gen::erdos_renyi_connected(14, 0.3, seed % 997);
+        let n = g.node_count();
+        let uids = UidPool::random(n, seed ^ 14);
+        let mut e = Engine::new(
+            StaticTopology::new(g),
+            ModelParams::mobile(0),
+            ActivationSchedule::synchronized(n),
+            BlindGossip::spawn(&uids),
+            seed ^ 15,
+        );
+        e.enable_tracing();
+        e.run_rounds(rounds);
+        let m = e.metrics();
+        prop_assert_eq!(m.proposals, m.connections + m.rejected_proposals);
+        for t in e.traces() {
+            prop_assert!(t.connections as usize <= n / 2);
+            prop_assert!(t.proposals >= t.connections);
+        }
+    }
+
+    #[test]
+    fn stabilized_means_unanimous_and_permanent(
+        seed in any::<u64>(),
+    ) {
+        let g = gen::line_of_stars(3, 2);
+        let n = g.node_count();
+        let uids = UidPool::random(n, seed ^ 16);
+        let mut e = Engine::new(
+            StaticTopology::new(g),
+            ModelParams::mobile(0),
+            ActivationSchedule::synchronized(n),
+            BlindGossip::spawn(&uids),
+            seed ^ 17,
+        );
+        let out = e.run_to_stabilization(20_000_000);
+        let winner = out.winner.unwrap();
+        for extra in 0..100 {
+            e.step();
+            prop_assert_eq!(e.leaders_agree(), Some(winner), "diverged {} rounds later", extra);
+        }
+    }
+}

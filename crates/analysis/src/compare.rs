@@ -3,10 +3,8 @@
 //! one algorithm *reliably* beats another (not just on the mean of a few
 //! trials).
 
-use serde::{Deserialize, Serialize};
-
 /// An equal-width histogram over a sample.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Histogram {
     /// Left edge of the first bucket.
     pub min: f64,
@@ -47,7 +45,7 @@ impl Histogram {
             .enumerate()
             .max_by_key(|(_, &c)| c)
             .map(|(i, _)| i)
-            .unwrap()
+            .expect("a histogram always has at least one bucket")
     }
 
     /// Render as a compact ASCII sparkline-style bar chart.
@@ -80,7 +78,7 @@ pub fn bootstrap_mean_ci(samples: &[f64], resamples: usize, alpha: f64, seed: u6
             sum / n as f64
         })
         .collect();
-    means.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    means.sort_by(f64::total_cmp);
     let lo_idx = ((alpha / 2.0) * resamples as f64) as usize;
     let hi_idx = (((1.0 - alpha / 2.0) * resamples as f64) as usize).min(resamples - 1);
     (means[lo_idx], means[hi_idx])
@@ -95,12 +93,9 @@ pub fn mann_whitney_u(a: &[f64], b: &[f64]) -> (f64, f64) {
     let n1 = a.len() as f64;
     let n2 = b.len() as f64;
     // Rank the pooled sample, averaging ranks for ties.
-    let mut pooled: Vec<(f64, usize)> = a
-        .iter()
-        .map(|&x| (x, 0usize))
-        .chain(b.iter().map(|&x| (x, 1usize)))
-        .collect();
-    pooled.sort_by(|x, y| x.0.partial_cmp(&y.0).unwrap());
+    let mut pooled: Vec<(f64, usize)> =
+        a.iter().map(|&x| (x, 0usize)).chain(b.iter().map(|&x| (x, 1usize))).collect();
+    pooled.sort_by(|x, y| x.0.total_cmp(&y.0));
     let total = pooled.len();
     let mut ranks = vec![0.0f64; total];
     let mut tie_term = 0.0f64;
@@ -118,12 +113,8 @@ pub fn mann_whitney_u(a: &[f64], b: &[f64]) -> (f64, f64) {
         tie_term += t * t * t - t;
         i = j + 1;
     }
-    let r1: f64 = pooled
-        .iter()
-        .zip(&ranks)
-        .filter(|((_, side), _)| *side == 0)
-        .map(|(_, &r)| r)
-        .sum();
+    let r1: f64 =
+        pooled.iter().zip(&ranks).filter(|((_, side), _)| *side == 0).map(|(_, &r)| r).sum();
     let u1 = r1 - n1 * (n1 + 1.0) / 2.0;
     let u = u1.min(n1 * n2 - u1);
     // Normal approximation with tie-corrected variance.
@@ -189,10 +180,7 @@ mod tests {
     #[test]
     fn bootstrap_deterministic() {
         let s = [1.0, 5.0, 9.0, 2.0, 8.0];
-        assert_eq!(
-            bootstrap_mean_ci(&s, 200, 0.1, 7),
-            bootstrap_mean_ci(&s, 200, 0.1, 7)
-        );
+        assert_eq!(bootstrap_mean_ci(&s, 200, 0.1, 7), bootstrap_mean_ci(&s, 200, 0.1, 7));
     }
 
     #[test]

@@ -7,10 +7,8 @@
 //! term). Experiments assert measured slopes fall in generous bands around
 //! each theorem's exponent.
 
-use serde::{Deserialize, Serialize};
-
 /// Result of a simple linear regression `y ≈ slope·x + intercept`.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct LinearFit {
     /// Fitted slope.
     pub slope: f64,
@@ -33,10 +31,7 @@ pub fn linear_fit(points: &[(f64, f64)]) -> LinearFit {
     let sxy: f64 = points.iter().map(|p| (p.0 - mean_x) * (p.1 - mean_y)).sum();
     let slope = sxy / sxx;
     let intercept = mean_y - slope * mean_x;
-    let ss_res: f64 = points
-        .iter()
-        .map(|p| (p.1 - (slope * p.0 + intercept)).powi(2))
-        .sum();
+    let ss_res: f64 = points.iter().map(|p| (p.1 - (slope * p.0 + intercept)).powi(2)).sum();
     let ss_tot: f64 = points.iter().map(|p| (p.1 - mean_y).powi(2)).sum();
     let r_squared = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
     LinearFit { slope, intercept, r_squared }
@@ -112,10 +107,12 @@ mod tests {
     #[test]
     fn polylog_fit_recovers_power() {
         // y = (ln x)^3
-        let pts: Vec<(f64, f64)> = (4..40).map(|i| {
-            let x = (i as f64).exp2(); // large x
-            (x, x.ln().powi(3))
-        }).collect();
+        let pts: Vec<(f64, f64)> = (4..40)
+            .map(|i| {
+                let x = (i as f64).exp2(); // large x
+                (x, x.ln().powi(3))
+            })
+            .collect();
         let f = log_polylog_fit(&pts);
         assert!((f.slope - 3.0).abs() < 1e-6, "slope {}", f.slope);
     }

@@ -1,9 +1,7 @@
 //! Summary statistics over trial samples.
 
-use serde::{Deserialize, Serialize};
-
 /// Summary of a sample of trial measurements.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Summary {
     /// Number of samples.
     pub count: usize,
@@ -149,7 +147,7 @@ mod tests {
 
     #[test]
     fn ci_shrinks_with_samples() {
-        let narrow = Summary::of(&vec![3.0, 4.0, 5.0].repeat(100));
+        let narrow = Summary::of(&[3.0, 4.0, 5.0].repeat(100));
         let wide = Summary::of(&[3.0, 4.0, 5.0]);
         assert!(narrow.ci95_half_width() < wide.ci95_half_width());
     }

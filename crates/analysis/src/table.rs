@@ -4,10 +4,8 @@
 //! helpers keep that output consistent across the harness binaries, the
 //! CLI, and EXPERIMENTS.md regeneration.
 
-use serde::{Deserialize, Serialize};
-
 /// A simple column-oriented table.
-#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct Table {
     header: Vec<String>,
     rows: Vec<Vec<String>>,

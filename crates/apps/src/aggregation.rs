@@ -184,9 +184,8 @@ mod tests {
             MinGossip::spawn(&values),
             2,
         );
-        let done = e.run_until(1_000_000, |e| {
-            e.nodes().iter().all(|p| p.current_min() == true_min)
-        });
+        let done =
+            e.run_until(1_000_000, |e| e.nodes().iter().all(|p| p.current_min() == true_min));
         assert!(done.is_some());
     }
 

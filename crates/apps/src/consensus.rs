@@ -123,8 +123,7 @@ mod tests {
 
     #[test]
     fn agreement_and_validity() {
-        let inputs: Vec<(u64, bool)> =
-            (0..16).map(|i| (1000 - i as u64, i % 3 == 0)).collect();
+        let inputs: Vec<(u64, bool)> = (0..16).map(|i| (1000 - i as u64, i % 3 == 0)).collect();
         let (expect, decisions) = run_consensus(inputs, 4);
         assert!(decisions.iter().all(|&d| d == expect), "disagreement or invalid decision");
     }

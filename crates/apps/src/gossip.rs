@@ -168,7 +168,7 @@ mod tests {
         let mut rng = mtm_graph::rng::stream_rng(0, 0);
         node.on_connect(&RumorId(2), &mut rng);
         node.on_connect(&RumorId(3), &mut rng);
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for _ in 0..3 {
             seen.insert(node.payload().0);
             node.end_round(1, &mut rng);

@@ -81,10 +81,7 @@ impl EventOrdering {
 
     /// One node per UID, with the sequencer at `leader_index`.
     pub fn spawn(uids: &[u64], leader_index: usize) -> Vec<EventOrdering> {
-        uids.iter()
-            .enumerate()
-            .map(|(i, &u)| EventOrdering::new(u, i == leader_index))
-            .collect()
+        uids.iter().enumerate().map(|(i, &u)| EventOrdering::new(u, i == leader_index)).collect()
     }
 
     /// The assignments this node knows, as `(seq, event)` pairs in seq
@@ -121,7 +118,7 @@ impl EventOrdering {
 
     /// Add an event to the relay pool unless already assigned or pooled.
     fn relay(&mut self, event: u64) {
-        if self.known.iter().any(|&e| e == event) || self.pending.contains(&event) {
+        if self.known.contains(&event) || self.pending.contains(&event) {
             return;
         }
         self.pending.push(event);
@@ -130,7 +127,7 @@ impl EventOrdering {
     /// Sequencer-side: assign the next number to `event` if it is new.
     fn assign(&mut self, event: u64) {
         debug_assert!(self.is_sequencer);
-        if self.known.iter().any(|&e| e == event) {
+        if self.known.contains(&event) {
             return;
         }
         let a = Assignment { seq: self.next_seq, event };
@@ -220,9 +217,7 @@ mod tests {
             EventOrdering::spawn(&uids, 0),
             seed,
         );
-        let done = e.run_until(5_000_000, |e| {
-            e.nodes().iter().all(|p| p.known_count() == n)
-        });
+        let done = e.run_until(5_000_000, |e| e.nodes().iter().all(|p| p.known_count() == n));
         assert!(done.is_some(), "ordering must disseminate fully");
         e
     }
@@ -272,10 +267,7 @@ mod tests {
 
     #[test]
     fn payload_respects_budget() {
-        let m = OrderingMsg {
-            unassigned: Some(3),
-            share: Some(Assignment { seq: 1, event: 2 }),
-        };
+        let m = OrderingMsg { unassigned: Some(3), share: Some(Assignment { seq: 1, event: 2 }) };
         assert_eq!(m.uid_count(), 2);
         assert_eq!(m.extra_bits(), 32);
     }

@@ -1,50 +1,44 @@
-//! One Criterion benchmark per reproduced table/figure.
+//! One benchmark per reproduced table/figure.
 //!
 //! Each target regenerates its experiment at quick scale with one trial —
 //! the same code path as the full-scale harness binary, parameterized down
 //! so `cargo bench` finishes in minutes. Full-scale results for
 //! EXPERIMENTS.md come from `cargo run --release -p mtm-experiments --bin
-//! <id>_exp`.
+//! <id>_exp`. Timing uses the in-tree [`mtm_bench::harness`] (the offline
+//! Criterion replacement).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use mtm_bench::bench_opts;
+use mtm_bench::harness::Bench;
 
 macro_rules! experiment_bench {
-    ($fn_name:ident, $bench_name:literal, $module:ident) => {
-        fn $fn_name(c: &mut Criterion) {
-            let opts = bench_opts();
-            c.bench_function($bench_name, |b| {
-                b.iter(|| {
-                    let table = mtm_experiments::$module::run(&opts);
-                    assert!(!table.is_empty());
-                    table
-                })
-            });
-        }
+    ($bench:expr, $opts:expr, $bench_name:literal, $module:ident) => {
+        $bench.run($bench_name, || {
+            let table = mtm_experiments::$module::run($opts);
+            assert!(!table.is_empty());
+            table
+        });
     };
 }
 
-experiment_bench!(t1, "bench_t1_blind_gossip", exp_t1);
-experiment_bench!(f1, "bench_f1_lower_bound", exp_f1);
-experiment_bench!(t2, "bench_t2_push_pull", exp_t2);
-experiment_bench!(f2, "bench_f2_tau_sweep", exp_f2);
-experiment_bench!(t3, "bench_t3_polylog", exp_t3);
-experiment_bench!(f3, "bench_f3_b0_vs_b1", exp_f3);
-experiment_bench!(t4, "bench_t4_nonsync", exp_t4);
-experiment_bench!(f4, "bench_f4_self_stab", exp_f4);
-experiment_bench!(t5, "bench_t5_matching_lemma", exp_t5);
-experiment_bench!(f5, "bench_f5_ppush_matching", exp_f5);
-experiment_bench!(t6, "bench_t6_tag_ablation", exp_t6);
-experiment_bench!(f6, "bench_f6_model_gap", exp_f6);
-experiment_bench!(f7, "bench_f7_trajectories", exp_f7);
-// Ablation benches (design choices called out in DESIGN.md §3).
-experiment_bench!(a1, "bench_a1_beta_ablation", exp_a1);
-experiment_bench!(a2, "bench_a2_group_len_ablation", exp_a2);
-experiment_bench!(a3, "bench_a3_push_pull_ablation", exp_a3);
-
-criterion_group! {
-    name = experiments;
-    config = Criterion::default().sample_size(10).warm_up_time(std::time::Duration::from_millis(500)).measurement_time(std::time::Duration::from_secs(3));
-    targets = t1, f1, t2, f2, t3, f3, t4, f4, t5, f5, t6, f6, f7, a1, a2, a3
+fn main() {
+    let opts = bench_opts();
+    let mut bench = Bench::from_args();
+    experiment_bench!(bench, &opts, "bench_t1_blind_gossip", exp_t1);
+    experiment_bench!(bench, &opts, "bench_f1_lower_bound", exp_f1);
+    experiment_bench!(bench, &opts, "bench_t2_push_pull", exp_t2);
+    experiment_bench!(bench, &opts, "bench_f2_tau_sweep", exp_f2);
+    experiment_bench!(bench, &opts, "bench_t3_polylog", exp_t3);
+    experiment_bench!(bench, &opts, "bench_f3_b0_vs_b1", exp_f3);
+    experiment_bench!(bench, &opts, "bench_t4_nonsync", exp_t4);
+    experiment_bench!(bench, &opts, "bench_f4_self_stab", exp_f4);
+    experiment_bench!(bench, &opts, "bench_t5_matching_lemma", exp_t5);
+    experiment_bench!(bench, &opts, "bench_f5_ppush_matching", exp_f5);
+    experiment_bench!(bench, &opts, "bench_t6_tag_ablation", exp_t6);
+    experiment_bench!(bench, &opts, "bench_f6_model_gap", exp_f6);
+    experiment_bench!(bench, &opts, "bench_f7_trajectories", exp_f7);
+    // Ablation benches (design choices called out in DESIGN.md §3).
+    experiment_bench!(bench, &opts, "bench_a1_beta_ablation", exp_a1);
+    experiment_bench!(bench, &opts, "bench_a2_group_len_ablation", exp_a2);
+    experiment_bench!(bench, &opts, "bench_a3_push_pull_ablation", exp_a3);
+    bench.finish();
 }
-criterion_main!(experiments);

@@ -1,4 +1,4 @@
-//! Shared helpers for the Criterion benchmark targets.
+//! Shared helpers for the benchmark targets.
 //!
 //! One benchmark per reproduced table/figure (see DESIGN.md §3) lives in
 //! `benches/experiments.rs`; engine microbenchmarks live in
@@ -6,8 +6,14 @@
 //! scale with a single trial — they measure the *cost* of regenerating each
 //! result; the full-scale numbers themselves are produced by the
 //! `mtm-experiments` harness binaries.
+//!
+//! The offline build has no Criterion, so [`harness`] provides a small
+//! wall-clock timing loop with the same ergonomics (named targets, optional
+//! substring filter from the command line).
 
 use mtm_experiments::ExpOpts;
+
+pub mod harness;
 
 /// Quick-scale single-trial options used by every experiment benchmark.
 pub fn bench_opts() -> ExpOpts {

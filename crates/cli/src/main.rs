@@ -52,7 +52,9 @@ fn usage() {
     eprintln!("  mtm elect <blind|bitconv|nonsync> <family> <n> [--seed N] [--tau N]");
     eprintln!("  mtm spread <push-pull|ppush|classical> <family> <n> [--seed N]");
     eprintln!("  mtm graph <family> <n> [--seed N] [--export PATH]");
-    eprintln!("  mtm trace <blind|bitconv|nonsync> <family> <n> [--seed N] [--tau N] [--export CSV]");
+    eprintln!(
+        "  mtm trace <blind|bitconv|nonsync> <family> <n> [--seed N] [--tau N] [--export CSV]"
+    );
     eprintln!("  (anywhere a <family> <n> pair appears, `--graph-file PATH` loads an");
     eprintln!("   edge-list or .json topology instead)");
     eprintln!();
@@ -141,12 +143,10 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
         let path = args.get(1).ok_or("--graph-file needs a path")?.clone();
         (GraphSource::File(path), 2)
     } else {
-        let family = args
-            .first()
-            .and_then(|s| GraphFamily::parse(s))
-            .ok_or_else(|| format!("expected a graph family or --graph-file, got {:?}", args.first()))?;
-        let n: usize =
-            args.get(1).ok_or("missing n")?.parse().map_err(|e| format!("n: {e}"))?;
+        let family = args.first().and_then(|s| GraphFamily::parse(s)).ok_or_else(|| {
+            format!("expected a graph family or --graph-file, got {:?}", args.first())
+        })?;
+        let n: usize = args.get(1).ok_or("missing n")?.parse().map_err(|e| format!("n: {e}"))?;
         (GraphSource::Family(family, n), 2)
     };
     let mut seed = 42u64;
@@ -425,7 +425,10 @@ fn cmd_trace(args: &[String]) -> i32 {
             let out = e.run_to_stabilization(a.max_rounds);
             let mut csv = String::from("round,active,proposals,connections\n");
             for t in e.traces() {
-                csv.push_str(&format!("{},{},{},{}\n", t.round, t.active, t.proposals, t.connections));
+                csv.push_str(&format!(
+                    "{},{},{},{}\n",
+                    t.round, t.active, t.proposals, t.connections
+                ));
             }
             (out, csv, e.connection_log().len())
         }};
@@ -434,7 +437,10 @@ fn cmd_trace(args: &[String]) -> i32 {
         "blind" => run_traced!(ModelParams::mobile(0), BlindGossip::spawn(&uids)),
         "bitconv" => {
             let config = TagConfig::for_network(n, delta);
-            run_traced!(ModelParams::mobile(1), BitConvergence::spawn(&uids, config, a.seed ^ 0x7A6))
+            run_traced!(
+                ModelParams::mobile(1),
+                BitConvergence::spawn(&uids, config, a.seed ^ 0x7A6)
+            )
         }
         "nonsync" => {
             let config = TagConfig::for_network(n, delta);

@@ -59,7 +59,11 @@ impl BitConvergence {
         uids.as_slice()
             .iter()
             .map(|&uid| {
-                let tag = if config.k == 63 { rng.gen::<u64>() >> 1 } else { rng.gen_range(0..(1u64 << config.k)) };
+                let tag = if config.k == 63 {
+                    rng.gen::<u64>() >> 1
+                } else {
+                    rng.gen_range(0..(1u64 << config.k))
+                };
                 BitConvergence::new(uid, tag, config)
             })
             .collect()

@@ -1,7 +1,5 @@
 //! Shared configuration for the bit-convergence algorithms.
 
-use serde::{Deserialize, Serialize};
-
 /// Parameters every bit-convergence node needs: the tag width `k`, the
 /// group length `2·⌈log₂ Δ⌉`, and derived quantities.
 ///
@@ -10,7 +8,7 @@ use serde::{Deserialize, Serialize};
 /// groups of `2·log Δ` rounds, so they are also given the maximum degree
 /// `Δ` (the paper assumes `Δ` is known, taking it to be a power of two for
 /// analysis convenience — we use `⌈log₂ Δ⌉`).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct TagConfig {
     /// Number of bits in an ID tag: `k = ⌈β·log₂ N⌉`, clamped to `[1, 63]`.
     pub k: u32,
@@ -48,12 +46,12 @@ impl TagConfig {
 
     /// True iff `round` (1-based) is the first round of a phase.
     pub fn is_phase_start(&self, round: u64) -> bool {
-        (round - 1) % self.phase_len() == 0
+        (round - 1).is_multiple_of(self.phase_len())
     }
 
     /// True iff `round` (1-based) is the first round of a (local) group.
     pub fn is_group_start(&self, round: u64) -> bool {
-        (round - 1) % self.group_len == 0
+        (round - 1).is_multiple_of(self.group_len)
     }
 
     /// Tag bits required by the non-synchronized algorithm:

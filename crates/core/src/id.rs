@@ -10,10 +10,9 @@
 use mtm_engine::PayloadCost;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 /// A `(UID, ID tag)` pair, ordered by `(tag, uid)`.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct IdPair {
     /// The random `k`-bit ID tag (compared first).
     pub tag: u64,
@@ -56,7 +55,7 @@ impl UidPool {
     /// `n` distinct random UIDs derived from `seed`.
     pub fn random(n: usize, seed: u64) -> UidPool {
         let mut rng = SmallRng::seed_from_u64(seed);
-        let mut set = std::collections::HashSet::with_capacity(n);
+        let mut set = std::collections::BTreeSet::new();
         let mut uids = Vec::with_capacity(n);
         while uids.len() < n {
             let u: u64 = rng.gen();
@@ -91,12 +90,7 @@ impl UidPool {
 
     /// Node index holding the smallest UID.
     pub fn min_uid_node(&self) -> usize {
-        self.uids
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, &u)| u)
-            .map(|(i, _)| i)
-            .expect("empty pool")
+        self.uids.iter().enumerate().min_by_key(|(_, &u)| u).map(|(i, _)| i).expect("empty pool")
     }
 
     /// Number of UIDs.

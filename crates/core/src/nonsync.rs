@@ -260,10 +260,8 @@ mod tests {
         // Neighbors: one advertising (pos, 1), one advertising (pos+1, 1).
         let other_pos = (pos + 1) % config.k;
         let neighbors = [10u32, 11];
-        let tags = [
-            NonSyncBitConvergence::encode(pos, 1),
-            NonSyncBitConvergence::encode(other_pos, 1),
-        ];
+        let tags =
+            [NonSyncBitConvergence::encode(pos, 1), NonSyncBitConvergence::encode(other_pos, 1)];
         let scan = Scan { neighbors: &neighbors, tags: &tags, round: 1, local_round: 1 };
         for _ in 0..10 {
             assert_eq!(node.act(&scan, &mut rng), Action::Propose(10));

@@ -1,136 +1,146 @@
 //! Property tests for protocol-level invariants.
+//!
+//! Cases are generated deterministically by `mtm-testkit` (the offline
+//! replacement for proptest).
 
 use mtm_core::config::{ceil_log2, TagConfig};
 use mtm_core::{BitConvergence, IdPair, NonSyncBitConvergence, UidPool};
 use mtm_engine::{Protocol, Tag};
-use proptest::prelude::*;
+use mtm_testkit::{run_cases, Rng};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn id_pair_ordering_is_total_and_lexicographic(
-        a_tag in any::<u64>(), a_uid in any::<u64>(),
-        b_tag in any::<u64>(), b_uid in any::<u64>(),
-    ) {
-        let a = IdPair { tag: a_tag, uid: a_uid };
-        let b = IdPair { tag: b_tag, uid: b_uid };
+#[test]
+fn id_pair_ordering_is_total_and_lexicographic() {
+    run_cases(0xC701, 128, |_case, rng| {
+        let a = IdPair { tag: rng.gen(), uid: rng.gen() };
+        let b = IdPair { tag: rng.gen(), uid: rng.gen() };
         // Lexicographic law.
-        if a_tag != b_tag {
-            prop_assert_eq!(a < b, a_tag < b_tag);
+        if a.tag != b.tag {
+            assert_eq!(a < b, a.tag < b.tag);
         } else {
-            prop_assert_eq!(a < b, a_uid < b_uid);
+            assert_eq!(a < b, a.uid < b.uid);
         }
         // min is commutative and idempotent.
-        prop_assert_eq!(a.min(b), b.min(a));
-        prop_assert_eq!(a.min(a), a);
-    }
+        assert_eq!(a.min(b), b.min(a));
+        assert_eq!(a.min(a), a);
+    });
+}
 
-    #[test]
-    fn tag_bit_reconstructs_tag(tag in 0u64..(1 << 16), k in 16u32..20) {
+#[test]
+fn tag_bit_reconstructs_tag() {
+    run_cases(0xC702, 128, |_case, rng| {
+        let tag = rng.gen_range(0..1u64 << 16);
+        let k = rng.gen_range(16..20u32);
         let p = IdPair { tag, uid: 0 };
         let mut rebuilt = 0u64;
         for i in 0..k {
             rebuilt = (rebuilt << 1) | p.tag_bit(i, k) as u64;
         }
-        prop_assert_eq!(rebuilt, tag, "MSB-first bits must reconstruct the tag");
-    }
+        assert_eq!(rebuilt, tag, "MSB-first bits must reconstruct the tag");
+    });
+}
 
-    #[test]
-    fn ceil_log2_is_inverse_of_pow2(x in 1usize..100_000) {
+#[test]
+fn ceil_log2_is_inverse_of_pow2() {
+    run_cases(0xC703, 128, |_case, rng| {
+        let x = rng.gen_range(1..100_000usize);
         let k = ceil_log2(x);
-        prop_assert!(1usize << k >= x);
+        assert!(1usize << k >= x);
         if k > 0 {
-            prop_assert!(1usize << (k - 1) < x);
+            assert!(1usize << (k - 1) < x);
         }
-    }
+    });
+}
 
-    #[test]
-    fn tag_config_round_partition_is_consistent(
-        k in 1u32..40,
-        group_len in 2u64..20,
-        round in 1u64..10_000,
-    ) {
-        let c = TagConfig { k, group_len };
+#[test]
+fn tag_config_round_partition_is_consistent() {
+    run_cases(0xC704, 128, |_case, rng| {
+        let c = TagConfig { k: rng.gen_range(1..40u32), group_len: rng.gen_range(2..20u64) };
+        let round = rng.gen_range(1..10_000u64);
         let group = c.group_of_round(round);
-        prop_assert!(group < k, "group index out of range");
+        assert!(group < c.k, "group index out of range");
         // Phase starts are also group starts.
         if c.is_phase_start(round) {
-            prop_assert!(c.is_group_start(round));
-            prop_assert_eq!(c.group_of_round(round), 0);
+            assert!(c.is_group_start(round));
+            assert_eq!(c.group_of_round(round), 0);
         }
         // Within a group the index is constant.
         if !c.is_group_start(round + 1) {
-            prop_assert_eq!(c.group_of_round(round + 1), group);
+            assert_eq!(c.group_of_round(round + 1), group);
         }
-    }
+    });
+}
 
-    #[test]
-    fn uid_pool_always_distinct(n in 1usize..200, seed in any::<u64>()) {
-        let pool = UidPool::random(n, seed);
+#[test]
+fn uid_pool_always_distinct() {
+    run_cases(0xC705, 64, |_case, rng| {
+        let n = rng.gen_range(1..200usize);
+        let pool = UidPool::random(n, rng.gen());
         let mut v = pool.as_slice().to_vec();
         v.sort_unstable();
         v.dedup();
-        prop_assert_eq!(v.len(), n);
-        prop_assert_eq!(pool.uid(pool.min_uid_node()), pool.min_uid());
-    }
+        assert_eq!(v.len(), n);
+        assert_eq!(pool.uid(pool.min_uid_node()), pool.min_uid());
+    });
+}
 
-    #[test]
-    fn bit_convergence_advertises_bits_of_active_tag(
-        tag in 0u64..(1 << 12),
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn bit_convergence_advertises_bits_of_active_tag() {
+    run_cases(0xC706, 64, |_case, rng| {
+        let tag = rng.gen_range(0..1u64 << 12);
         let config = TagConfig { k: 12, group_len: 3 };
         let mut node = BitConvergence::new(1, tag, config);
-        let mut rng = mtm_graph::rng::stream_rng(seed, 0);
+        let mut stream = mtm_graph::rng::stream_rng(rng.gen(), 0);
         // Over one full phase, the advertised bit sequence must spell the
         // tag MSB-first, each bit repeated group_len times.
         let mut bits = Vec::new();
         for r in 1..=config.phase_len() {
-            let t = node.advertise(r, &mut rng);
-            prop_assert!(t == Tag(0) || t == Tag(1));
+            let t = node.advertise(r, &mut stream);
+            assert!(t == Tag(0) || t == Tag(1));
             bits.push(t.0 as u64);
         }
         for (i, chunk) in bits.chunks(config.group_len as usize).enumerate() {
             let expect = (tag >> (config.k - 1 - i as u32)) & 1;
-            prop_assert!(chunk.iter().all(|&b| b == expect),
-                "group {} advertised {:?}, tag bit is {}", i, chunk, expect);
+            assert!(
+                chunk.iter().all(|&b| b == expect),
+                "group {i} advertised {chunk:?}, tag bit is {expect}"
+            );
         }
-    }
+    });
+}
 
-    #[test]
-    fn nonsync_tag_always_fits_budget(
-        tag in 0u64..(1 << 10),
-        seed in any::<u64>(),
-        rounds in 1u64..100,
-    ) {
+#[test]
+fn nonsync_tag_always_fits_budget() {
+    run_cases(0xC707, 64, |_case, rng| {
+        let tag = rng.gen_range(0..1u64 << 10);
+        let rounds = rng.gen_range(1..100u64);
         let config = TagConfig { k: 10, group_len: 4 };
         let b = config.nonsync_tag_bits();
         let mut node = NonSyncBitConvergence::new(1, tag, config);
-        let mut rng = mtm_graph::rng::stream_rng(seed, 1);
+        let mut stream = mtm_graph::rng::stream_rng(rng.gen(), 1);
         for r in 1..=rounds {
-            let t = node.advertise(r, &mut rng);
-            prop_assert!(t.fits(b), "tag {:?} exceeds b = {}", t, b);
+            let t = node.advertise(r, &mut stream);
+            assert!(t.fits(b), "tag {t:?} exceeds b = {b}");
             let (pos, bit) = NonSyncBitConvergence::decode(t);
-            prop_assert!(pos < config.k);
-            prop_assert!(bit <= 1);
+            assert!(pos < config.k);
+            assert!(bit <= 1);
         }
-    }
+    });
+}
 
-    #[test]
-    fn pending_pair_is_min_of_received(
-        tags in proptest::collection::vec(0u64..(1 << 10), 1..20),
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn pending_pair_is_min_of_received() {
+    run_cases(0xC708, 64, |_case, rng| {
+        let tags: Vec<u64> =
+            (0..rng.gen_range(1..20usize)).map(|_| rng.gen_range(0..1u64 << 10)).collect();
         let config = TagConfig { k: 10, group_len: 2 };
         let mut node = BitConvergence::new(999, (1 << 10) - 1, config);
-        let mut rng = mtm_graph::rng::stream_rng(seed, 2);
+        let mut stream = mtm_graph::rng::stream_rng(rng.gen(), 2);
         let mut expect = node.pending_pair();
         for (i, &t) in tags.iter().enumerate() {
             let pair = IdPair { tag: t, uid: i as u64 };
-            node.on_connect(&pair, &mut rng);
+            node.on_connect(&pair, &mut stream);
             expect = expect.min(pair);
         }
-        prop_assert_eq!(node.pending_pair(), expect);
-    }
+        assert_eq!(node.pending_pair(), expect);
+    });
 }

@@ -6,10 +6,9 @@
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 /// When each node activates (1-based engine rounds).
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ActivationSchedule {
     rounds: Vec<u64>,
 }
@@ -44,9 +43,7 @@ impl ActivationSchedule {
     /// `second_wave`. Models late-joining groups (self-stabilization).
     pub fn two_wave(n: usize, split: usize, second_wave: u64) -> Self {
         assert!(split <= n && second_wave >= 1);
-        let rounds = (0..n)
-            .map(|u| if u < split { 1 } else { second_wave })
-            .collect();
+        let rounds = (0..n).map(|u| if u < split { 1 } else { second_wave }).collect();
         ActivationSchedule { rounds }
     }
 

@@ -1,0 +1,251 @@
+//! Model-conformance audit mode.
+//!
+//! With the default-on `audit` cargo feature, every round the engine
+//! executes is checked against the mobile telephone model's contract
+//! (Section III of the paper), and any breach panics with a structured
+//! [`Violation`] carrying the round and node where it happened:
+//!
+//! - every advertised [`Tag`] fits the model's `b` bits,
+//! - every exchanged payload stays within the budget of
+//!   `max_payload_uids` UIDs plus `max_payload_bits` extra bits,
+//! - a node only proposes to neighbors it actually saw in its scan,
+//! - under [`ConnectionPolicy::SingleUniform`] the accepted proposals
+//!   form a matching: no node participates in two connections per round.
+//!
+//! Building with `--no-default-features` strips the audit for maximum
+//! throughput; the engine then falls back to the original spot asserts
+//! (tag width, proposal visibility) and debug-only payload checks.
+//!
+//! The module also hosts [`determinism_self_check`], the executable form
+//! of the repo's determinism contract: run the same `(seed, config)`
+//! twice and demand identical [`Metrics`] and [`RoundTrace`] streams.
+//!
+//! [`ConnectionPolicy::SingleUniform`]: crate::model::ConnectionPolicy::SingleUniform
+
+use std::fmt;
+
+use mtm_graph::{DynamicTopology, NodeId};
+
+use crate::engine::Engine;
+use crate::metrics::{Metrics, RoundTrace};
+use crate::model::Tag;
+use crate::protocol::Protocol;
+
+/// A breach of the mobile telephone model contract, with enough context
+/// (round, node, offending values) to replay the failure.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Violation {
+    /// A node advertised a tag wider than the model's `b` bits.
+    TagBudget { round: u64, node: usize, tag: Tag, tag_bits: u32 },
+    /// A payload exceeded the per-connection budget.
+    PayloadBudget {
+        round: u64,
+        node: usize,
+        uid_count: u32,
+        max_uids: u32,
+        extra_bits: u32,
+        max_bits: u32,
+    },
+    /// A node proposed to a neighbor that was not in its scan result
+    /// (inactive, or not adjacent this round).
+    ProposalNotVisible { round: u64, node: usize, target: NodeId },
+    /// Under the single-accept policy a node ended up in two accepted
+    /// connections in one round — the accepted set must be a matching.
+    NotAMatching { round: u64, node: NodeId },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            // Wording kept compatible with the engine's historical assert
+            // (tests match on "exceeding b").
+            Violation::TagBudget { round, node, tag, tag_bits } => write!(
+                f,
+                "round {round}: node {node} advertised tag {tag:?} exceeding b = {tag_bits} bits"
+            ),
+            Violation::PayloadBudget { round, node, uid_count, max_uids, extra_bits, max_bits } => {
+                write!(
+                    f,
+                    "round {round}: node {node} payload exceeds model budget: \
+                     {uid_count} UIDs (max {max_uids}), {extra_bits} extra bits (max {max_bits})"
+                )
+            }
+            Violation::ProposalNotVisible { round, node, target } => {
+                write!(f, "round {round}: node {node} proposed to {target}, not a visible neighbor")
+            }
+            Violation::NotAMatching { round, node } => write!(
+                f,
+                "round {round}: node {node} participates in two accepted connections \
+                 (SingleUniform must form a matching)"
+            ),
+        }
+    }
+}
+
+/// Per-round conformance checker. Owned by the engine when the `audit`
+/// feature is on; all scratch space is reused so steady-state auditing
+/// allocates nothing.
+#[derive(Debug, Default)]
+pub struct Auditor {
+    endpoints: Vec<NodeId>,
+    rounds_audited: u64,
+}
+
+impl Auditor {
+    /// Rounds fully audited so far.
+    pub fn rounds_audited(&self) -> u64 {
+        self.rounds_audited
+    }
+
+    /// Check an advertised tag against the model's `b` bits.
+    #[inline]
+    pub fn check_tag(&self, round: u64, node: usize, tag: Tag, tag_bits: u32) {
+        if !tag.fits(tag_bits) {
+            fail(Violation::TagBudget { round, node, tag, tag_bits });
+        }
+    }
+
+    /// Check a payload against the per-connection budget.
+    #[inline]
+    pub fn check_payload(
+        &self,
+        round: u64,
+        node: usize,
+        uid_count: u32,
+        max_uids: u32,
+        extra_bits: u32,
+        max_bits: u32,
+    ) {
+        if uid_count > max_uids || extra_bits > max_bits {
+            fail(Violation::PayloadBudget {
+                round,
+                node,
+                uid_count,
+                max_uids,
+                extra_bits,
+                max_bits,
+            });
+        }
+    }
+
+    /// Check that a proposal targets a node present in the proposer's scan.
+    /// `visible` is the scan's (sorted) neighbor list.
+    #[inline]
+    pub fn check_proposal(&self, round: u64, node: usize, target: NodeId, visible: &[NodeId]) {
+        if visible.binary_search(&target).is_err() {
+            fail(Violation::ProposalNotVisible { round, node, target });
+        }
+    }
+
+    /// Check that the accepted set forms a matching (each node in at most
+    /// one accepted connection), then count the round as audited.
+    pub fn check_matching(&mut self, round: u64, accepted: &[(NodeId, NodeId)]) {
+        self.endpoints.clear();
+        for &(u, v) in accepted {
+            self.endpoints.push(u);
+            self.endpoints.push(v);
+        }
+        self.endpoints.sort_unstable();
+        if let Some(w) = self.endpoints.windows(2).find(|w| w[0] == w[1]) {
+            fail(Violation::NotAMatching { round, node: w[0] });
+        }
+        self.rounds_audited += 1;
+    }
+}
+
+fn fail(v: Violation) -> ! {
+    panic!("model conformance violation: {v}")
+}
+
+/// Run the same construction twice for `rounds` rounds and demand that
+/// both executions produce identical [`Metrics`] and identical per-round
+/// [`RoundTrace`] streams — the executable form of the determinism
+/// contract (an execution is a pure function of `(seed, config)`).
+///
+/// Returns the (common) metrics on success, and a description of the
+/// first divergence on failure. `build` must construct a fresh engine
+/// from the same inputs on every call.
+pub fn determinism_self_check<P, T, F>(mut build: F, rounds: u64) -> Result<Metrics, String>
+where
+    P: Protocol,
+    T: DynamicTopology,
+    F: FnMut() -> Engine<P, T>,
+{
+    let mut run = || {
+        let mut e = build();
+        e.enable_tracing();
+        e.run_rounds(rounds);
+        (e.metrics(), e.traces().to_vec())
+    };
+    let (m1, t1): (Metrics, Vec<RoundTrace>) = run();
+    let (m2, t2) = run();
+    for (a, b) in t1.iter().zip(t2.iter()) {
+        if a != b {
+            return Err(format!("round {} trace diverged: {a:?} vs {b:?}", a.round));
+        }
+    }
+    if t1.len() != t2.len() {
+        return Err(format!("trace lengths diverged: {} vs {}", t1.len(), t2.len()));
+    }
+    if m1 != m2 {
+        return Err(format!("metrics diverged: {m1:?} vs {m2:?}"));
+    }
+    Ok(m1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tag_within_budget_passes() {
+        let a = Auditor::default();
+        a.check_tag(1, 0, Tag(3), 2);
+        a.check_tag(1, 0, Tag::EMPTY, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeding b")]
+    fn oversized_tag_caught() {
+        Auditor::default().check_tag(7, 3, Tag(4), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "payload exceeds model budget")]
+    fn over_budget_payload_caught() {
+        Auditor::default().check_payload(2, 5, 3, 2, 0, 256);
+    }
+
+    #[test]
+    #[should_panic(expected = "payload exceeds model budget")]
+    fn over_budget_extra_bits_caught() {
+        Auditor::default().check_payload(2, 5, 1, 2, 300, 256);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a visible neighbor")]
+    fn invisible_proposal_caught() {
+        Auditor::default().check_proposal(4, 1, 9, &[2, 3, 5]);
+    }
+
+    #[test]
+    fn matching_accepts_disjoint_pairs() {
+        let mut a = Auditor::default();
+        a.check_matching(1, &[(0, 1), (2, 3), (4, 5)]);
+        a.check_matching(2, &[]);
+        assert_eq!(a.rounds_audited(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "two accepted connections")]
+    fn double_acceptance_caught() {
+        Auditor::default().check_matching(3, &[(0, 1), (2, 1)]);
+    }
+
+    #[test]
+    fn violation_display_carries_context() {
+        let v = Violation::TagBudget { round: 12, node: 4, tag: Tag(8), tag_bits: 3 };
+        let s = v.to_string();
+        assert!(s.contains("round 12") && s.contains("node 4") && s.contains("b = 3"));
+    }
+}

@@ -61,6 +61,8 @@ pub struct Engine<P: Protocol, T: DynamicTopology> {
     accepted: Vec<(NodeId, NodeId)>,
     visible: Vec<NodeId>,
     visible_tags: Vec<Tag>,
+    #[cfg(feature = "audit")]
+    auditor: crate::audit::Auditor,
 }
 
 impl<P: Protocol, T: DynamicTopology> Engine<P, T> {
@@ -98,6 +100,8 @@ impl<P: Protocol, T: DynamicTopology> Engine<P, T> {
             accepted: Vec::new(),
             visible: Vec::new(),
             visible_tags: Vec::new(),
+            #[cfg(feature = "audit")]
+            auditor: crate::audit::Auditor::default(),
         }
     }
 
@@ -162,6 +166,30 @@ impl<P: Protocol, T: DynamicTopology> Engine<P, T> {
         self.round >= 1 && self.schedule.is_active(u, self.round)
     }
 
+    /// Rounds that passed the full conformance audit so far. Always 0 when
+    /// the `audit` feature is disabled.
+    pub fn rounds_audited(&self) -> u64 {
+        #[cfg(feature = "audit")]
+        {
+            self.auditor.rounds_audited()
+        }
+        #[cfg(not(feature = "audit"))]
+        {
+            0
+        }
+    }
+
+    /// Run this engine's configuration twice and demand identical
+    /// [`Metrics`] and [`RoundTrace`](crate::metrics::RoundTrace) streams.
+    /// Convenience wrapper over [`crate::audit::determinism_self_check`];
+    /// `build` must construct a fresh engine from the same inputs each call.
+    pub fn determinism_self_check(
+        build: impl FnMut() -> Self,
+        rounds: u64,
+    ) -> Result<Metrics, String> {
+        crate::audit::determinism_self_check(build, rounds)
+    }
+
     /// Execute one full round (all five phases).
     pub fn step(&mut self) {
         self.round += 1;
@@ -183,6 +211,9 @@ impl<P: Protocol, T: DynamicTopology> Engine<P, T> {
             active_count += 1;
             let local = self.schedule.local_round(u, round);
             let tag = self.nodes[u].advertise(local, &mut self.rngs[u]);
+            #[cfg(feature = "audit")]
+            self.auditor.check_tag(round, u, tag, self.params.tag_bits);
+            #[cfg(not(feature = "audit"))]
             assert!(
                 tag.fits(self.params.tag_bits),
                 "node {u} advertised tag {tag:?} exceeding b = {} bits",
@@ -217,6 +248,9 @@ impl<P: Protocol, T: DynamicTopology> Engine<P, T> {
             self.slots[u] = match action {
                 Action::Listen => Slot::Listen,
                 Action::Propose(v) => {
+                    #[cfg(feature = "audit")]
+                    self.auditor.check_proposal(round, u, v, &self.visible);
+                    #[cfg(not(feature = "audit"))]
                     assert!(
                         self.visible.binary_search(&v).is_ok(),
                         "node {u} proposed to {v}, not a visible neighbor"
@@ -289,6 +323,12 @@ impl<P: Protocol, T: DynamicTopology> Engine<P, T> {
             self.incoming[v].clear();
         }
         self.touched.clear();
+        #[cfg(feature = "audit")]
+        if self.params.policy == ConnectionPolicy::SingleUniform {
+            // Section III: each node participates in at most one
+            // connection per round — the accepted set is a matching.
+            self.auditor.check_matching(round, &self.accepted);
+        }
         for ai in 0..self.accepted.len() {
             let (u, v) = self.accepted[ai];
             if let Some(log) = &mut self.connection_log {
@@ -321,11 +361,26 @@ impl<P: Protocol, T: DynamicTopology> Engine<P, T> {
     fn connect(&mut self, u: usize, v: usize) {
         let pu = self.nodes[u].payload();
         let pv = self.nodes[v].payload();
+        #[cfg(feature = "audit")]
+        for (node, uids, bits) in
+            [(u, pu.uid_count(), pu.extra_bits()), (v, pv.uid_count(), pv.extra_bits())]
+        {
+            self.auditor.check_payload(
+                self.round,
+                node,
+                uids,
+                self.params.max_payload_uids,
+                bits,
+                self.params.max_payload_bits,
+            );
+        }
+        #[cfg(not(feature = "audit"))]
         debug_assert!(
             pu.uid_count() <= self.params.max_payload_uids
                 && pu.extra_bits() <= self.params.max_payload_bits,
             "node {u} payload exceeds model budget"
         );
+        #[cfg(not(feature = "audit"))]
         debug_assert!(
             pv.uid_count() <= self.params.max_payload_uids
                 && pv.extra_bits() <= self.params.max_payload_bits,
@@ -475,7 +530,11 @@ mod tests {
 
     fn nodes(n: usize) -> Vec<MinSpread> {
         (0..n)
-            .map(|u| MinSpread { uid: u as u64 + 100, best: u as u64 + 100, always_propose_first: false })
+            .map(|u| MinSpread {
+                uid: u as u64 + 100,
+                best: u as u64 + 100,
+                always_propose_first: false,
+            })
             .collect()
     }
 
@@ -524,7 +583,12 @@ mod tests {
         e.enable_tracing();
         e.run_rounds(50);
         for t in e.traces() {
-            assert!(t.connections as usize <= n / 2, "round {}: {} connections", t.round, t.connections);
+            assert!(
+                t.connections as usize <= n / 2,
+                "round {}: {} connections",
+                t.round,
+                t.connections
+            );
             assert!(t.proposals >= t.connections);
         }
     }
@@ -610,7 +674,10 @@ mod tests {
         e.run_rounds(8);
         // In some round the hub listened and connected to all 7 leaves.
         let max_conn = e.traces().iter().map(|t| t.connections).max().unwrap();
-        assert!(max_conn >= (n - 1) as u64, "classical hub should accept all proposals, max was {max_conn}");
+        assert!(
+            max_conn >= (n - 1) as u64,
+            "classical hub should accept all proposals, max was {max_conn}"
+        );
     }
 
     #[test]
@@ -651,6 +718,91 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "payload exceeds model budget")]
+    fn payload_budget_enforced() {
+        /// Node whose payload claims more UIDs than the model allows — the
+        /// first formed connection must trip the audit.
+        struct FatPayload {
+            propose: bool,
+        }
+        #[derive(Clone)]
+        struct TooManyUids;
+        impl PayloadCost for TooManyUids {
+            fn uid_count(&self) -> u32 {
+                99
+            }
+            fn extra_bits(&self) -> u32 {
+                0
+            }
+        }
+        impl Protocol for FatPayload {
+            type Payload = TooManyUids;
+            fn advertise(&mut self, _l: u64, _r: &mut SmallRng) -> Tag {
+                Tag::EMPTY
+            }
+            fn act(&mut self, scan: &Scan<'_>, _r: &mut SmallRng) -> Action {
+                match scan.neighbors.first() {
+                    Some(&v) if self.propose => Action::Propose(v),
+                    _ => Action::Listen,
+                }
+            }
+            fn payload(&self) -> TooManyUids {
+                TooManyUids
+            }
+            fn on_connect(&mut self, _p: &TooManyUids, _r: &mut SmallRng) {}
+        }
+        let mut e = Engine::new(
+            StaticTopology::new(gen::star(3)),
+            ModelParams::mobile(0),
+            ActivationSchedule::synchronized(3),
+            // Leaves propose to the listening hub: a connection forms in
+            // round 1 and the over-budget payload crosses it.
+            vec![
+                FatPayload { propose: false },
+                FatPayload { propose: true },
+                FatPayload { propose: true },
+            ],
+            0,
+        );
+        e.run_rounds(1);
+    }
+
+    #[test]
+    fn audit_counts_rounds() {
+        let mut e = engine_on(gen::clique(6), 6, 8);
+        e.run_rounds(25);
+        if cfg!(feature = "audit") {
+            assert_eq!(e.rounds_audited(), 25);
+        } else {
+            assert_eq!(e.rounds_audited(), 0);
+        }
+    }
+
+    #[test]
+    fn determinism_self_check_passes_for_fixed_seed() {
+        let metrics = Engine::determinism_self_check(|| engine_on(gen::cycle(10), 10, 42), 150)
+            .expect("same (seed, config) must replay identically");
+        assert_eq!(metrics.rounds, 150);
+        assert!(metrics.connections > 0);
+    }
+
+    #[test]
+    fn determinism_self_check_flags_divergence() {
+        // A builder that varies the seed across calls is exactly the bug
+        // the self-check exists to catch.
+        let mut seed = 0u64;
+        let err = Engine::determinism_self_check(
+            || {
+                seed += 1;
+                engine_on(gen::cycle(16), 16, seed)
+            },
+            100,
+        )
+        .expect_err("different seeds must diverge");
+        assert!(err.contains("diverged"), "unhelpful divergence report: {err}");
+    }
+
+    #[test]
     fn connection_log_matches_metrics() {
         let mut e = engine_on(gen::clique(8), 8, 6);
         e.enable_connection_log();
@@ -658,12 +810,12 @@ mod tests {
         let log = e.connection_log();
         assert_eq!(log.len() as u64, e.metrics().connections);
         for &(round, u, v) in log {
-            assert!(round >= 1 && round <= 40);
+            assert!((1..=40).contains(&round));
             assert_ne!(u, v);
             assert!(u < 8 && v < 8);
         }
         // Each node appears at most once per round (one connection each).
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for &(round, u, v) in log {
             assert!(seen.insert((round, u)), "node {u} in two connections in round {round}");
             assert!(seen.insert((round, v)), "node {v} in two connections in round {round}");

@@ -26,8 +26,13 @@
 //! Everything is deterministic given a trial seed: per-node RNG streams are
 //! derived with SplitMix64, so a trial is a pure function of
 //! `(topology, protocol construction, seed)`.
+//!
+//! With the default-on `audit` cargo feature every executed round is
+//! additionally validated against the model contract (tag width, payload
+//! budget, proposal visibility, matching-shaped acceptance) — see [`audit`].
 
 pub mod activation;
+pub mod audit;
 pub mod engine;
 pub mod metrics;
 pub mod model;
@@ -35,6 +40,7 @@ pub mod protocol;
 pub mod runner;
 
 pub use activation::ActivationSchedule;
+pub use audit::determinism_self_check;
 pub use engine::{Engine, RunOutcome};
 pub use metrics::{Metrics, RoundTrace};
 pub use model::{ConnectionPolicy, ModelParams, Tag};

@@ -1,9 +1,7 @@
 //! Execution metrics and optional per-round tracing.
 
-use serde::{Deserialize, Serialize};
-
 /// Aggregate counters over an execution.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct Metrics {
     /// Rounds executed.
     pub rounds: u64,
@@ -28,7 +26,7 @@ impl Metrics {
 }
 
 /// Per-round trace entry (enabled with [`crate::Engine::enable_tracing`]).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct RoundTrace {
     /// Round number (1-based).
     pub round: u64,

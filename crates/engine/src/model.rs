@@ -1,13 +1,11 @@
 //! Model parameters: tag length `b`, payload budget, connection policy.
 
-use serde::{Deserialize, Serialize};
-
 /// A `b`-bit advertising tag.
 ///
 /// Tags are the only information a node broadcasts to its whole neighborhood
 /// before connections form; the engine enforces that each advertised tag
 /// fits in the model's `b` bits.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub struct Tag(pub u32);
 
 impl Tag {
@@ -28,7 +26,7 @@ impl Tag {
 }
 
 /// How a listening node resolves incoming proposals.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ConnectionPolicy {
     /// Mobile telephone model: accept exactly one incoming proposal,
     /// chosen uniformly at random (Section III).
@@ -44,7 +42,7 @@ pub enum ConnectionPolicy {
 /// acceptance that way ("u first generates a random permutation of its
 /// neighbors… selects the proposal highest ranked"), and implementing it
 /// lets tests verify the equivalence rather than assume it.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Acceptance {
     /// Pick a uniformly random index into the incoming-proposal list.
     UniformIndex,
@@ -54,7 +52,7 @@ pub enum Acceptance {
 }
 
 /// Static parameters of a model instance.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct ModelParams {
     /// Tag length `b ≥ 0` in bits.
     pub tag_bits: u32,

@@ -2,10 +2,10 @@
 //!
 //! A single execution of the model is inherently sequential (synchronous
 //! rounds), but experiments repeat each configuration across many seeds.
-//! [`run_trials`] spreads those independent trials across a crossbeam
-//! scoped-thread pool, with results returned in trial order regardless of
-//! scheduling — determinism is preserved because each trial derives its own
-//! seed from `(base_seed, trial_index)`.
+//! [`run_trials`] spreads those independent trials across a scoped thread
+//! pool, with results returned in trial order regardless of scheduling —
+//! determinism is preserved because each trial derives its own seed from
+//! `(base_seed, trial_index)`.
 
 use mtm_graph::rng::derive_seed;
 
@@ -33,26 +33,23 @@ where
 
     let next = std::sync::atomic::AtomicUsize::new(0);
     let mut results: Vec<Option<R>> = (0..trials).map(|_| None).collect();
-    let results_ptr = parking_lot::Mutex::new(&mut results);
+    let results_ptr = std::sync::Mutex::new(&mut results);
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| {
-                loop {
-                    let t = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if t >= trials {
-                        break;
-                    }
-                    let r = f(t, derive_seed(base_seed, t as u64));
-                    let mut guard = results_ptr.lock();
-                    guard[t] = Some(r);
+            scope.spawn(|| loop {
+                let t = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if t >= trials {
+                    break;
                 }
+                let r = f(t, derive_seed(base_seed, t as u64));
+                let mut guard = results_ptr.lock().expect("a trial worker panicked");
+                guard[t] = Some(r);
             });
         }
-    })
-    .expect("trial worker panicked");
+    });
 
-    results.into_iter().map(|r| r.expect("missing trial result")).collect()
+    results.into_iter().map(|r| r.expect("every trial index is claimed exactly once")).collect()
 }
 
 #[cfg(test)]

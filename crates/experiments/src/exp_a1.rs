@@ -55,7 +55,13 @@ pub fn run(opts: &ExpOpts) -> Table {
         Scale::Full => (256, &[1.0, 2.0, 3.0, 4.0, 6.0], opts.trials_or(10), 5_000_000),
     };
     let mut table = Table::new(vec![
-        "β", "k (tag bits)", "trials", "mean rounds", "median", "collision rate", "timeouts",
+        "β",
+        "k (tag bits)",
+        "trials",
+        "mean rounds",
+        "median",
+        "collision rate",
+        "timeouts",
     ]);
     for &beta in betas {
         let results: Vec<(Option<u64>, bool)> =

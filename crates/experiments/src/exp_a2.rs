@@ -50,7 +50,12 @@ pub fn run(opts: &ExpOpts) -> Table {
     let g = mtm_graph::gen::line_of_stars(s, s);
     let log_delta = ceil_log2(g.max_degree().max(2)) as u64;
     let mut table = Table::new(vec![
-        "group multiplier m", "group len (rounds)", "trials", "mean rounds", "median", "timeouts",
+        "group multiplier m",
+        "group len (rounds)",
+        "trials",
+        "mean rounds",
+        "median",
+        "timeouts",
     ]);
     for &m in mults {
         let results: Vec<Option<u64>> =

@@ -76,19 +76,42 @@ pub fn run(opts: &ExpOpts) -> Table {
         Scale::Full => (&[128, 512], opts.trials_or(10), 100_000_000),
     };
     let mut table = Table::new(vec![
-        "topology", "n", "push-pull (mean)", "push-only (mean)", "pull-only (mean)",
-        "push/PP", "pull/PP",
+        "topology",
+        "n",
+        "push-pull (mean)",
+        "push-only (mean)",
+        "pull-only (mean)",
+        "push/PP",
+        "pull/PP",
     ]);
     for family in [GraphFamily::Expander8, GraphFamily::Star] {
         for &n in sizes {
             let pp = summarize(&run_strategy(
-                family, n, "push-pull", trials, opts.seed, opts.threads, max_rounds,
+                family,
+                n,
+                "push-pull",
+                trials,
+                opts.seed,
+                opts.threads,
+                max_rounds,
             ));
             let push = summarize(&run_strategy(
-                family, n, "push", trials, opts.seed ^ 1, opts.threads, max_rounds,
+                family,
+                n,
+                "push",
+                trials,
+                opts.seed ^ 1,
+                opts.threads,
+                max_rounds,
             ));
             let pull = summarize(&run_strategy(
-                family, n, "pull", trials, opts.seed ^ 2, opts.threads, max_rounds,
+                family,
+                n,
+                "pull",
+                trials,
+                opts.seed ^ 2,
+                opts.threads,
+                max_rounds,
             ));
             let cell = |x: &crate::harness::TrialSummary| {
                 x.summary.as_ref().map_or("-".to_string(), |s| fmt_f64(s.mean))

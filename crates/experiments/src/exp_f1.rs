@@ -19,9 +19,8 @@ pub fn run(opts: &ExpOpts) -> Table {
         Scale::Quick => (&[3, 4, 6], opts.trials_or(3), 5_000_000),
         Scale::Full => (&[4, 6, 8, 11, 16, 22], opts.trials_or(10), 100_000_000),
     };
-    let mut table = Table::new(vec![
-        "stars", "n", "Δ", "trials", "mean", "median", "Δ²·√n", "mean/(Δ²√n)",
-    ]);
+    let mut table =
+        Table::new(vec!["stars", "n", "Δ", "trials", "mean", "median", "Δ²·√n", "mean/(Δ²√n)"]);
     let mut points = Vec::new();
     for &s in stars {
         let spec = TopoSpec::Static { family: mtm_graph::GraphFamily::LineOfStars, n: s + s * s };

@@ -21,12 +21,9 @@ pub fn run(opts: &ExpOpts) -> Table {
     // Spine s stars of s points each.
     let (s, taus, trials, max_rounds): (usize, &[Option<u64>], usize, u64) = match opts.scale {
         Scale::Quick => (4, &[Some(1), Some(2), None], opts.trials_or(3), 10_000_000),
-        Scale::Full => (
-            12,
-            &[Some(1), Some(2), Some(4), Some(8), None],
-            opts.trials_or(10),
-            200_000_000,
-        ),
+        Scale::Full => {
+            (12, &[Some(1), Some(2), Some(4), Some(8), None], opts.trials_or(10), 200_000_000)
+        }
     };
     let g = mtm_graph::gen::line_of_stars(s, s);
     let n = g.node_count();
@@ -34,18 +31,28 @@ pub fn run(opts: &ExpOpts) -> Table {
     let alpha = mtm_graph::GraphFamily::LineOfStars.known_alpha(n).unwrap();
 
     let mut table = Table::new(vec![
-        "τ", "n", "Δ", "blind(mean)", "bitconv(mean)", "speedup", "bc-bound", "bc-mean/bound",
+        "τ",
+        "n",
+        "Δ",
+        "blind(mean)",
+        "bitconv(mean)",
+        "speedup",
+        "bc-bound",
+        "bc-mean/bound",
     ]);
     for &tau in taus {
         let spec = match tau {
             Some(t) => TopoSpec::StarShuffle { spine: s, points: s, tau: t },
             None => TopoSpec::Static { family: mtm_graph::GraphFamily::LineOfStars, n },
         };
-        let blind = summarize(&blind_gossip_rounds(
-            &spec, trials, opts.seed, opts.threads, max_rounds,
-        ));
+        let blind =
+            summarize(&blind_gossip_rounds(&spec, trials, opts.seed, opts.threads, max_rounds));
         let bc = summarize(&bit_convergence_rounds(
-            &spec, trials, opts.seed ^ 1, opts.threads, max_rounds,
+            &spec,
+            trials,
+            opts.seed ^ 1,
+            opts.threads,
+            max_rounds,
         ));
         let bound = bit_convergence_bound(n, delta, alpha, tau);
         let (blind_mean, bc_mean, speedup, ratio) = match (&blind.summary, &bc.summary) {

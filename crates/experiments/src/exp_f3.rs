@@ -19,9 +19,8 @@ pub fn run(opts: &ExpOpts) -> Table {
         Scale::Quick => (&[3, 5], opts.trials_or(3), 10_000_000),
         Scale::Full => (&[4, 6, 8, 11, 16, 20, 24], opts.trials_or(10), 200_000_000),
     };
-    let mut table = Table::new(vec![
-        "stars", "n", "Δ", "blind b=0 (mean)", "bitconv b=1 (mean)", "ratio",
-    ]);
+    let mut table =
+        Table::new(vec!["stars", "n", "Δ", "blind b=0 (mean)", "bitconv b=1 (mean)", "ratio"]);
     for &s in stars {
         let n = s + s * s;
         let spec = TopoSpec::Static { family: mtm_graph::GraphFamily::LineOfStars, n };

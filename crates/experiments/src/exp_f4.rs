@@ -78,7 +78,13 @@ pub fn run(opts: &ExpOpts) -> Table {
         Scale::Full => (&[16, 32, 64], 200_000, opts.trials_or(8), 500_000_000),
     };
     let mut table = Table::new(vec![
-        "half", "n", "join@", "pre-converged", "rejoin (mean)", "fresh (mean)", "rejoin/fresh",
+        "half",
+        "n",
+        "join@",
+        "pre-converged",
+        "rejoin (mean)",
+        "fresh (mean)",
+        "rejoin/fresh",
     ]);
     for &half in halves {
         let joined: Vec<(Option<u64>, bool)> =

@@ -75,12 +75,18 @@ pub fn run(opts: &ExpOpts) -> Table {
     let n = 2 * m;
     let log_delta = (d as f64).log2().ceil() as u64;
     let mut table = Table::new(vec![
-        "m", "Δ", "r", "new informed (mean)", "p10", "m/f(r)", "mean/(m/f(r))", "guarantee met",
+        "m",
+        "Δ",
+        "r",
+        "new informed (mean)",
+        "p10",
+        "m/f(r)",
+        "mean/(m/f(r))",
+        "guarantee met",
     ]);
     for r in 1..=log_delta {
-        let results: Vec<u64> = run_trials(trials, opts.seed, opts.threads, move |_t, seed| {
-            ppush_trial(m, d, r, seed)
-        });
+        let results: Vec<u64> =
+            run_trials(trials, opts.seed, opts.threads, move |_t, seed| ppush_trial(m, d, r, seed));
         let as_f: Vec<f64> = results.iter().map(|&x| x as f64).collect();
         let s = Summary::of(&as_f);
         let mut sorted = as_f.clone();

@@ -26,9 +26,8 @@ pub fn run(opts: &ExpOpts) -> Table {
         Scale::Quick => (&[16, 64], opts.trials_or(3), 5_000_000),
         Scale::Full => (&[64, 128, 256, 512, 1024], opts.trials_or(10), 100_000_000),
     };
-    let mut table = Table::new(vec![
-        "n", "classical (mean)", "mobile (mean)", "mobile/classical", "n·log₂n",
-    ]);
+    let mut table =
+        Table::new(vec!["n", "classical (mean)", "mobile (mean)", "mobile/classical", "n·log₂n"]);
     let mut ratio_points = Vec::new();
     for &n in sizes {
         let spec = TopoSpec::Static { family: GraphFamily::Star, n };
@@ -116,7 +115,7 @@ mod tests {
         opts.trials = 2;
         let t = run(&opts);
         assert_eq!(t.len(), 3); // 2 sizes + fit row
-        // The mobile mean must exceed the classical mean at n = 64.
+                                // The mobile mean must exceed the classical mean at n = 64.
         let row = &t.rows()[1];
         let c: f64 = row[1].parse().unwrap();
         let m: f64 = row[2].parse().unwrap();

@@ -29,12 +29,7 @@ fn agree_fraction<P: Protocol + LeaderView, T: DynamicTopology>(
 }
 
 /// One trial: agreement fraction at each checkpoint for one algorithm.
-fn trajectory(
-    algo: &'static str,
-    s: usize,
-    checkpoints: &[u64],
-    seed: u64,
-) -> Vec<f64> {
+fn trajectory(algo: &'static str, s: usize, checkpoints: &[u64], seed: u64) -> Vec<f64> {
     let g = mtm_graph::gen::line_of_stars(s, s);
     let n = g.node_count();
     let delta = g.max_degree();
@@ -63,7 +58,13 @@ fn trajectory(
         "blind" => {
             let nodes = BlindGossip::spawn(&uids);
             sample!(
-                Engine::new(StaticTopology::new(g), ModelParams::mobile(0), sched, nodes, engine_seed),
+                Engine::new(
+                    StaticTopology::new(g),
+                    ModelParams::mobile(0),
+                    sched,
+                    nodes,
+                    engine_seed
+                ),
                 uids.min_uid()
             )
         }
@@ -71,7 +72,13 @@ fn trajectory(
             let nodes = BitConvergence::spawn(&uids, config, derive_seed(seed, 12));
             let winner = nodes.iter().map(|p| p.active_pair()).min().unwrap().uid;
             sample!(
-                Engine::new(StaticTopology::new(g), ModelParams::mobile(1), sched, nodes, engine_seed),
+                Engine::new(
+                    StaticTopology::new(g),
+                    ModelParams::mobile(1),
+                    sched,
+                    nodes,
+                    engine_seed
+                ),
                 winner
             )
         }

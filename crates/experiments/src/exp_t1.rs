@@ -15,12 +15,8 @@ use crate::harness::{blind_gossip_bound, blind_gossip_rounds, summarize, TopoSpe
 use crate::opts::{ExpOpts, Scale};
 
 /// Families swept (all with closed-form `α`).
-const FAMILIES: [GraphFamily; 4] = [
-    GraphFamily::Clique,
-    GraphFamily::Cycle,
-    GraphFamily::Star,
-    GraphFamily::LineOfStars,
-];
+const FAMILIES: [GraphFamily; 4] =
+    [GraphFamily::Clique, GraphFamily::Cycle, GraphFamily::Star, GraphFamily::LineOfStars];
 
 /// Run the experiment, returning the result table.
 pub fn run(opts: &ExpOpts) -> Table {
@@ -29,7 +25,17 @@ pub fn run(opts: &ExpOpts) -> Table {
         Scale::Full => (&[64, 128, 256], opts.trials_or(10), 50_000_000),
     };
     let mut table = Table::new(vec![
-        "topology", "n", "Δ", "α", "τ", "trials", "mean", "median", "p90", "timeouts", "bound",
+        "topology",
+        "n",
+        "Δ",
+        "α",
+        "τ",
+        "trials",
+        "mean",
+        "median",
+        "p90",
+        "timeouts",
+        "bound",
         "mean/bound",
     ]);
     for family in FAMILIES {

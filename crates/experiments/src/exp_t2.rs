@@ -13,12 +13,8 @@ use mtm_graph::GraphFamily;
 use crate::harness::{blind_gossip_bound, push_pull_rounds, summarize, TopoSpec};
 use crate::opts::{ExpOpts, Scale};
 
-const FAMILIES: [GraphFamily; 4] = [
-    GraphFamily::Clique,
-    GraphFamily::Cycle,
-    GraphFamily::Star,
-    GraphFamily::LineOfStars,
-];
+const FAMILIES: [GraphFamily; 4] =
+    [GraphFamily::Clique, GraphFamily::Cycle, GraphFamily::Star, GraphFamily::LineOfStars];
 
 /// Run the experiment, returning the result table.
 pub fn run(opts: &ExpOpts) -> Table {
@@ -27,7 +23,16 @@ pub fn run(opts: &ExpOpts) -> Table {
         Scale::Full => (&[64, 128, 256], opts.trials_or(10), 50_000_000),
     };
     let mut table = Table::new(vec![
-        "topology", "n", "Δ", "α", "τ", "trials", "mean", "median", "timeouts", "bound",
+        "topology",
+        "n",
+        "Δ",
+        "α",
+        "τ",
+        "trials",
+        "mean",
+        "median",
+        "timeouts",
+        "bound",
         "mean/bound",
     ]);
     for family in FAMILIES {

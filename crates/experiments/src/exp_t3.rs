@@ -20,15 +20,11 @@ pub fn run(opts: &ExpOpts) -> Table {
     let (clique_sizes, expander_sizes, trials, max_rounds): (&[usize], &[usize], usize, u64) =
         match opts.scale {
             Scale::Quick => (&[16, 32], &[16, 32, 64], opts.trials_or(3), 10_000_000),
-            Scale::Full => (
-                &[64, 128, 256],
-                &[128, 256, 512, 1024, 2048],
-                opts.trials_or(10),
-                100_000_000,
-            ),
+            Scale::Full => {
+                (&[64, 128, 256], &[128, 256, 512, 1024, 2048], opts.trials_or(10), 100_000_000)
+            }
         };
-    let mut table =
-        Table::new(vec!["topology", "n", "Δ", "trials", "mean", "median", "timeouts"]);
+    let mut table = Table::new(vec!["topology", "n", "Δ", "trials", "mean", "median", "timeouts"]);
     for (family, sizes) in
         [(GraphFamily::Clique, clique_sizes), (GraphFamily::Expander8, expander_sizes)]
     {
@@ -80,13 +76,8 @@ pub fn slope_for(opts: &ExpOpts, family: GraphFamily, sizes: &[usize]) -> f64 {
     for &n in sizes {
         let spec = TopoSpec::Static { family, n };
         let sample = spec.sample_graph(opts.seed);
-        let ts = summarize(&bit_convergence_rounds(
-            &spec,
-            trials,
-            opts.seed,
-            opts.threads,
-            100_000_000,
-        ));
+        let ts =
+            summarize(&bit_convergence_rounds(&spec, trials, opts.seed, opts.threads, 100_000_000));
         points.push((sample.node_count() as f64, ts.summary.expect("must stabilize").mean));
     }
     log_log_fit(&points).slope

@@ -39,9 +39,8 @@ pub fn run(opts: &ExpOpts) -> Table {
         let n_actual = sample.node_count();
         let window = (4 * n_actual as u64).max(16);
 
-        let sync = summarize(&bit_convergence_rounds(
-            &spec, trials, opts.seed, opts.threads, max_rounds,
-        ));
+        let sync =
+            summarize(&bit_convergence_rounds(&spec, trials, opts.seed, opts.threads, max_rounds));
         let ns_sync = summarize(&nonsync_rounds(
             &spec,
             SchedSpec::Synchronized,
@@ -81,13 +80,8 @@ pub fn run(opts: &ExpOpts) -> Table {
 pub fn sync_vs_nonsync(opts: &ExpOpts, n: usize) -> (f64, f64) {
     let trials = opts.trials_or(3);
     let spec = TopoSpec::Static { family: GraphFamily::Expander8, n };
-    let sync = summarize(&bit_convergence_rounds(
-        &spec,
-        trials,
-        opts.seed,
-        opts.threads,
-        500_000_000,
-    ));
+    let sync =
+        summarize(&bit_convergence_rounds(&spec, trials, opts.seed, opts.threads, 500_000_000));
     let ns = summarize(&nonsync_rounds(
         &spec,
         SchedSpec::Staggered { window: 4 * n as u64 },

@@ -25,17 +25,24 @@ pub fn run(opts: &ExpOpts) -> Table {
         Scale::Full => (&[8, 10, 12, 14, 16], opts.trials_or(100)),
     };
     let mut table = Table::new(vec![
-        "source", "n", "graphs", "min γ/(α/4)", "mean γ/(α/4)", "min γ/α", "violations",
+        "source",
+        "n",
+        "graphs",
+        "min γ/(α/4)",
+        "mean γ/(α/4)",
+        "min γ/α",
+        "violations",
     ]);
     // Random connected Erdős–Rényi graphs.
     for &n in sizes {
-        let ratios: Vec<(f64, f64)> = run_trials(trials, opts.seed, opts.threads, move |_t, seed| {
-            let p = 2.5 * (n as f64).ln() / n as f64;
-            let g = gen::erdos_renyi_connected(n, p.min(0.9), derive_seed(seed, 0));
-            let gamma = gamma_exact(&g);
-            let alpha = alpha_exact(&g);
-            (gamma / (alpha / 4.0), gamma / alpha)
-        });
+        let ratios: Vec<(f64, f64)> =
+            run_trials(trials, opts.seed, opts.threads, move |_t, seed| {
+                let p = 2.5 * (n as f64).ln() / n as f64;
+                let g = gen::erdos_renyi_connected(n, p.min(0.9), derive_seed(seed, 0));
+                let gamma = gamma_exact(&g);
+                let alpha = alpha_exact(&g);
+                (gamma / (alpha / 4.0), gamma / alpha)
+            });
         push_ratio_row(&mut table, "G(n,p)", n, &ratios);
     }
     // Structured families at a fixed small size.

@@ -2,7 +2,9 @@
 //! trial runners, and summary helpers.
 
 use mtm_analysis::stats::Summary;
-use mtm_core::{BitConvergence, BlindGossip, NonSyncBitConvergence, Ppush, PushPull, TagConfig, UidPool};
+use mtm_core::{
+    BitConvergence, BlindGossip, NonSyncBitConvergence, Ppush, PushPull, TagConfig, UidPool,
+};
 use mtm_engine::runner::run_trials;
 use mtm_engine::{ActivationSchedule, Engine, ModelParams};
 use mtm_graph::dynamic::{BoxedTopology, LineOfStarsShuffle, RelabelingAdversary, StaticTopology};
@@ -362,10 +364,7 @@ mod tests {
 
     #[test]
     fn topo_spec_labels() {
-        assert_eq!(
-            TopoSpec::Static { family: GraphFamily::Clique, n: 8 }.label(),
-            "clique"
-        );
+        assert_eq!(TopoSpec::Static { family: GraphFamily::Clique, n: 8 }.label(), "clique");
         assert_eq!(
             TopoSpec::Relabeled { family: GraphFamily::Star, n: 8, tau: 3 }.label(),
             "star/τ=3"

@@ -70,6 +70,5 @@ pub fn run_by_id(id: &str, opts: &ExpOpts) -> Option<mtm_analysis::table::Table>
 
 /// Experiment ids in presentation order (paper claims T*/F*, ablations A*).
 pub const ALL_IDS: [&str; 16] = [
-    "t1", "f1", "t2", "f2", "t3", "f3", "t4", "f4", "t5", "f5", "t6", "f6", "f7", "a1", "a2",
-    "a3",
+    "t1", "f1", "t2", "f2", "t3", "f3", "t4", "f4", "t5", "f5", "t6", "f6", "f7", "a1", "a2", "a3",
 ];

@@ -63,8 +63,7 @@ impl IsolatingAdversary {
         // Positions: 0..spine are spine slots (in line order); the rest are
         // leaf slots, where leaf slot j belongs to star j / points. The
         // last leaf slot belongs to the last star; pin the target there.
-        let mut others: Vec<NodeId> =
-            (0..n as NodeId).filter(|&u| u != self.target).collect();
+        let mut others: Vec<NodeId> = (0..n as NodeId).filter(|&u| u != self.target).collect();
         others.shuffle(&mut rng);
         let mut assignment = others;
         assignment.push(self.target); // target takes the final leaf slot

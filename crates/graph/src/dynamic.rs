@@ -169,7 +169,7 @@ impl EdgeSwapAdversary {
         let mut rng = SmallRng::seed_from_u64(crate::rng::derive_seed(self.seed, epoch));
         for _attempt in 0..8 {
             let mut edges: Vec<(NodeId, NodeId)> = self.current.edges().collect();
-            let mut edge_set: std::collections::HashSet<(NodeId, NodeId)> =
+            let mut edge_set: std::collections::BTreeSet<(NodeId, NodeId)> =
                 edges.iter().copied().collect();
             let mut done = 0usize;
             let mut tries = 0usize;
@@ -186,11 +186,7 @@ impl EdgeSwapAdversary {
                 let (a, b) = edges[i];
                 let (c, d) = edges[j];
                 // Orientation choice: swap to (a,d),(c,b) or (a,c),(b,d).
-                let (x1, y1, x2, y2) = if rng.gen_bool(0.5) {
-                    (a, d, c, b)
-                } else {
-                    (a, c, b, d)
-                };
+                let (x1, y1, x2, y2) = if rng.gen_bool(0.5) { (a, d, c, b) } else { (a, c, b, d) };
                 if x1 == y1 || x2 == y2 {
                     continue;
                 }
@@ -351,10 +347,13 @@ impl WaypointMobility {
         // Patch: bridge each non-main component to the main one via the
         // closest node pair.
         let labels = g.components();
-        let ncomp = *labels.iter().max().unwrap() as usize + 1;
+        let ncomp =
+            *labels.iter().max().expect("n > 1 past the early return, so labels is nonempty")
+                as usize
+                + 1;
         let mut extra = Vec::new();
         for comp in 1..ncomp as u32 {
-            let mut best = (f64::INFINITY, 0 as NodeId, 0 as NodeId);
+            let mut best: (f64, NodeId, NodeId) = (f64::INFINITY, 0, 0);
             for u in 0..n {
                 if labels[u] != comp {
                     continue;
@@ -423,10 +422,7 @@ impl JoinSchedule {
     pub fn new(left: &Graph, right: &Graph, bridges: &[(NodeId, NodeId)], join_round: u64) -> Self {
         let before = left.disjoint_union(right);
         let after = before.with_edges(bridges);
-        assert!(
-            after.is_connected(),
-            "bridge edges must connect the two components"
-        );
+        assert!(after.is_connected(), "bridge edges must connect the two components");
         JoinSchedule { before, after, join_round }
     }
 
@@ -499,7 +495,7 @@ mod tests {
         let base = gen::line_of_stars(4, 4);
         let deg_seq = base.degree_sequence();
         let mut adv = RelabelingAdversary::new(base, 2, 7);
-        let mut distinct = std::collections::HashSet::new();
+        let mut distinct = std::collections::BTreeSet::new();
         for round in 1..=20 {
             let g = adv.graph_at(round).clone();
             assert_eq!(g.degree_sequence(), deg_seq, "round {round} not isomorphic");

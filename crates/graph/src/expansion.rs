@@ -58,11 +58,7 @@ pub fn alpha_exact(g: &Graph) -> f64 {
     assert!(n >= 2, "α undefined for n < 2");
     assert!(n <= 24, "alpha_exact is exponential; use the sampled bound for n > 24");
     let masks: Vec<u64> = (0..n as NodeId)
-        .map(|u| {
-            g.neighbors(u)
-                .iter()
-                .fold(0u64, |m, &v| m | (1u64 << v))
-        })
+        .map(|u| g.neighbors(u).iter().fold(0u64, |m, &v| m | (1u64 << v)))
         .collect();
     let full: u64 = if n == 64 { !0 } else { (1u64 << n) - 1 };
     let half = n / 2;
@@ -290,10 +286,7 @@ mod tests {
             let g = gen::erdos_renyi_connected(14, 0.3, seed);
             let exact = alpha_exact(&g);
             let bound = alpha_upper_bound_sampled(&g, 30, seed);
-            assert!(
-                bound >= exact - 1e-9,
-                "sampled {bound} below exact {exact} (seed {seed})"
-            );
+            assert!(bound >= exact - 1e-9, "sampled {bound} below exact {exact} (seed {seed})");
             // On graphs this small the heuristic should be nearly tight.
             assert!(
                 bound <= exact * 2.0 + 1e-9,

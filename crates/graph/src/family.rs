@@ -8,10 +8,9 @@
 
 use crate::gen;
 use crate::static_graph::Graph;
-use serde::{Deserialize, Serialize};
 
 /// A named graph family with a scalable size parameter.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum GraphFamily {
     /// Complete graph `K_n`: `α ≈ 1`, `Δ = n-1`.
     Clique,
@@ -96,7 +95,7 @@ impl GraphFamily {
             GraphFamily::Star => gen::star(n_target),
             GraphFamily::LineOfStars => gen::line_of_stars_sqrt(n_target).0,
             GraphFamily::Expander3 => {
-                let n = if (n_target * 3) % 2 == 0 { n_target } else { n_target + 1 };
+                let n = if (n_target * 3).is_multiple_of(2) { n_target } else { n_target + 1 };
                 gen::random_regular(n.max(4), 3, seed)
             }
             GraphFamily::Expander8 => gen::random_regular(n_target.max(10), 8, seed),
@@ -114,7 +113,7 @@ impl GraphFamily {
             }
             GraphFamily::Dumbbell => {
                 let mut half = (n_target / 2).max(4);
-                if (half * 3) % 2 != 0 {
+                if !(half * 3).is_multiple_of(2) {
                     half += 1;
                 }
                 gen::dumbbell_expander(half, 3, seed)
@@ -131,7 +130,9 @@ impl GraphFamily {
     pub fn known_alpha(self, n: usize) -> Option<f64> {
         let half = (n / 2) as f64;
         match self {
-            GraphFamily::Clique => Some(if n % 2 == 0 { 1.0 } else { (half + 1.0) / half }),
+            GraphFamily::Clique => {
+                Some(if n.is_multiple_of(2) { 1.0 } else { (half + 1.0) / half })
+            }
             GraphFamily::Path => Some(1.0 / half),
             GraphFamily::Cycle => Some(2.0 / half),
             GraphFamily::Star => Some(1.0 / half),
@@ -194,20 +195,12 @@ mod tests {
 
     #[test]
     fn known_alpha_matches_exact_small() {
-        for fam in [
-            GraphFamily::Clique,
-            GraphFamily::Path,
-            GraphFamily::Cycle,
-            GraphFamily::Star,
-        ] {
+        for fam in [GraphFamily::Clique, GraphFamily::Path, GraphFamily::Cycle, GraphFamily::Star] {
             let g = fam.build(12, 0);
             let n = g.node_count();
             let exact = alpha_exact(&g);
             let known = fam.known_alpha(n).unwrap();
-            assert!(
-                (exact - known).abs() < 1e-9,
-                "{fam}: exact {exact} vs known {known}"
-            );
+            assert!((exact - known).abs() < 1e-9, "{fam}: exact {exact} vs known {known}");
         }
     }
 
@@ -218,8 +211,7 @@ mod tests {
         let exact = alpha_exact(&g);
         let known = GraphFamily::LineOfStars.known_alpha(12).unwrap();
         // Same order: within a factor of 4.
-        assert!(exact <= known * 4.0 && known <= exact * 4.0,
-            "exact {exact} vs known {known}");
+        assert!(exact <= known * 4.0 && known <= exact * 4.0, "exact {exact} vs known {known}");
     }
 
     #[test]

@@ -191,7 +191,7 @@ pub fn lollipop(k: usize, tail: usize) -> Graph {
 ///
 /// For constant `d ≥ 3` these are expanders w.h.p. (`α = Θ(1)`).
 pub fn random_regular(n: usize, d: usize, seed: u64) -> Graph {
-    assert!(n * d % 2 == 0, "n·d must be even");
+    assert!((n * d).is_multiple_of(2), "n·d must be even");
     assert!(d < n, "degree must be < n");
     if d == 0 {
         assert!(n <= 1, "0-regular graph on >1 nodes is disconnected");
@@ -213,16 +213,17 @@ pub fn random_regular(n: usize, d: usize, seed: u64) -> Graph {
         let mut pairs: Vec<(NodeId, NodeId)> =
             stubs.chunks_exact(2).map(|p| (p[0], p[1])).collect();
         let key = |u: NodeId, v: NodeId| if u < v { (u, v) } else { (v, u) };
-        let mut seen: std::collections::HashMap<(NodeId, NodeId), usize> =
-            std::collections::HashMap::with_capacity(pairs.len());
+        let mut seen: std::collections::BTreeMap<(NodeId, NodeId), usize> =
+            std::collections::BTreeMap::new();
         for &(u, v) in &pairs {
             if u != v {
                 *seen.entry(key(u, v)).or_insert(0) += 1;
             }
         }
-        let is_bad = |p: (NodeId, NodeId), seen: &std::collections::HashMap<(NodeId, NodeId), usize>| {
-            p.0 == p.1 || seen.get(&key(p.0, p.1)).copied().unwrap_or(0) > 1
-        };
+        let is_bad =
+            |p: (NodeId, NodeId), seen: &std::collections::BTreeMap<(NodeId, NodeId), usize>| {
+                p.0 == p.1 || seen.get(&key(p.0, p.1)).copied().unwrap_or(0) > 1
+            };
         let mut repaired = true;
         for _ in 0..pairs.len() * 50 {
             let Some(i) = pairs.iter().position(|&p| is_bad(p, &seen)) else {
@@ -297,15 +298,17 @@ pub fn erdos_renyi_connected(n: usize, p: f64, seed: u64) -> Graph {
     }
     // Patch connectivity: link every component to component 0.
     let labels = g.components();
-    let ncomp = *labels.iter().max().unwrap() as usize + 1;
+    let ncomp = *labels.iter().max().expect("n > 1 past the early return, so labels is nonempty")
+        as usize
+        + 1;
     let mut reps: Vec<Vec<NodeId>> = vec![Vec::new(); ncomp];
     for (u, &l) in labels.iter().enumerate() {
         reps[l as usize].push(u as NodeId);
     }
     let mut extra = Vec::new();
     for comp in reps.iter().skip(1) {
-        let a = *comp.choose(&mut rng).unwrap();
-        let b0 = *reps[0].choose(&mut rng).unwrap();
+        let a = *comp.choose(&mut rng).expect("every component label has at least one node");
+        let b0 = *reps[0].choose(&mut rng).expect("component 0 always exists");
         extra.push((a, b0));
     }
     g.with_edges(&extra)

@@ -58,7 +58,7 @@ pub fn from_edge_list(text: &str) -> Result<Graph, ParseError> {
             continue;
         }
         let mut parts = line.split_whitespace();
-        let first = parts.next().unwrap();
+        let first = parts.next().expect("line is nonempty after the trim/skip above");
         if first == "n" {
             let n = parts
                 .next()
@@ -67,9 +67,8 @@ pub fn from_edge_list(text: &str) -> Result<Graph, ParseError> {
             declared_n = Some(n);
             continue;
         }
-        let u: u64 = first
-            .parse()
-            .map_err(|_| ParseError::BadLine { line_no, content: raw.to_string() })?;
+        let u: u64 =
+            first.parse().map_err(|_| ParseError::BadLine { line_no, content: raw.to_string() })?;
         let v: u64 = parts
             .next()
             .and_then(|s| s.parse().ok())
@@ -96,17 +95,152 @@ pub fn from_edge_list(text: &str) -> Result<Graph, ParseError> {
     Ok(b.build())
 }
 
-/// Serialize a graph to JSON (via the CSR serde representation).
+/// Serialize a graph to JSON: `{"offsets":[…],"adjacency":[…]}` (the CSR
+/// representation). Hand-rolled — the offline build has no serialization
+/// framework available, and the format is two integer arrays.
 pub fn to_json(g: &Graph) -> String {
-    serde_json::to_string(g).expect("graph serialization cannot fail")
+    let (offsets, adjacency) = g.csr_parts();
+    let mut out = String::with_capacity(16 + 8 * (offsets.len() + adjacency.len()));
+    out.push_str("{\"offsets\":");
+    push_u32_array(&mut out, offsets);
+    out.push_str(",\"adjacency\":");
+    push_u32_array(&mut out, adjacency);
+    out.push('}');
+    out
+}
+
+fn push_u32_array(out: &mut String, xs: &[u32]) {
+    out.push('[');
+    for (i, x) in xs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&x.to_string());
+    }
+    out.push(']');
 }
 
 /// Parse a graph from its JSON representation, validating the CSR
 /// invariants (the JSON may come from untrusted input).
 pub fn from_json(text: &str) -> Result<Graph, String> {
-    let g: Graph = serde_json::from_str(text).map_err(|e| e.to_string())?;
+    let mut p = JsonCursor { bytes: text.as_bytes(), pos: 0 };
+    p.expect(b'{')?;
+    let mut offsets: Option<Vec<u32>> = None;
+    let mut adjacency: Option<Vec<u32>> = None;
+    loop {
+        let key = p.string()?;
+        p.expect(b':')?;
+        let arr = p.u32_array()?;
+        match key.as_str() {
+            "offsets" => offsets = Some(arr),
+            "adjacency" => adjacency = Some(arr),
+            other => return Err(format!("unknown key {other:?} in graph JSON")),
+        }
+        if !p.consume(b',') {
+            break;
+        }
+    }
+    p.expect(b'}')?;
+    p.end()?;
+    let offsets = offsets.ok_or("graph JSON missing \"offsets\"")?;
+    let adjacency = adjacency.ok_or("graph JSON missing \"adjacency\"")?;
+    if offsets.is_empty() {
+        return Err("offset array must have n + 1 entries".to_string());
+    }
+    let g = Graph::from_csr_parts_unchecked(offsets, adjacency);
     g.validate()?;
     Ok(g)
+}
+
+/// Minimal cursor over the fixed JSON shape `{"key":[u32,…],…}`.
+struct JsonCursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl JsonCursor<'_> {
+    fn skip_ws(&mut self) {
+        while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn consume(&mut self, want: u8) -> bool {
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&want) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, want: u8) -> Result<(), String> {
+        if self.consume(want) {
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", want as char, self.pos))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let start = self.pos;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b'"' {
+                let s = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|e| e.to_string())?
+                    .to_string();
+                self.pos += 1;
+                return Ok(s);
+            }
+            // Keys in this format never contain escapes.
+            if b == b'\\' {
+                return Err(format!("unsupported escape at byte {}", self.pos));
+            }
+            self.pos += 1;
+        }
+        Err("unterminated string".to_string())
+    }
+
+    fn u32_array(&mut self) -> Result<Vec<u32>, String> {
+        self.expect(b'[')?;
+        let mut out = Vec::new();
+        if self.consume(b']') {
+            return Ok(out);
+        }
+        loop {
+            out.push(self.u32_value()?);
+            if self.consume(b']') {
+                return Ok(out);
+            }
+            self.expect(b',')?;
+        }
+    }
+
+    fn u32_value(&mut self) -> Result<u32, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(format!("expected integer at byte {start}"));
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("digits are ASCII")
+            .parse::<u32>()
+            .map_err(|e| format!("integer at byte {start}: {e}"))
+    }
+
+    fn end(&mut self) -> Result<(), String> {
+        self.skip_ws();
+        if self.pos == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(format!("trailing data at byte {}", self.pos))
+        }
+    }
 }
 
 #[cfg(test)]
@@ -141,22 +275,13 @@ mod tests {
 
     #[test]
     fn edge_list_errors() {
-        assert!(matches!(
-            from_edge_list("0 zebra"),
-            Err(ParseError::BadLine { line_no: 1, .. })
-        ));
+        assert!(matches!(from_edge_list("0 zebra"), Err(ParseError::BadLine { line_no: 1, .. })));
         assert!(matches!(
             from_edge_list("n 2\n0 5"),
             Err(ParseError::OutOfRange { line_no: 2, node: 5 })
         ));
-        assert!(matches!(
-            from_edge_list("3 3"),
-            Err(ParseError::SelfLoop { line_no: 1, node: 3 })
-        ));
-        assert!(matches!(
-            from_edge_list("0 1 2"),
-            Err(ParseError::BadLine { .. })
-        ));
+        assert!(matches!(from_edge_list("3 3"), Err(ParseError::SelfLoop { line_no: 1, node: 3 })));
+        assert!(matches!(from_edge_list("0 1 2"), Err(ParseError::BadLine { .. })));
     }
 
     #[test]

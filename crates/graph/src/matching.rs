@@ -73,8 +73,7 @@ fn dfs(
         let v = adj[u as usize][i];
         let w = match_r[v as usize];
         if w == NIL
-            || (dist[w as usize] == dist[u as usize] + 1
-                && dfs(w, adj, match_l, match_r, dist))
+            || (dist[w as usize] == dist[u as usize] + 1 && dfs(w, adj, match_l, match_r, dist))
         {
             match_l[u as usize] = v;
             match_r[v as usize] = u;
@@ -194,13 +193,8 @@ mod tests {
         for _ in 0..200 {
             let nl = rng.gen_range(0..7);
             let nr = rng.gen_range(0..7usize);
-            let adj: Vec<Vec<u32>> = (0..nl)
-                .map(|_| {
-                    (0..nr as u32)
-                        .filter(|_| rng.gen_bool(0.4))
-                        .collect()
-                })
-                .collect();
+            let adj: Vec<Vec<u32>> =
+                (0..nl).map(|_| (0..nr as u32).filter(|_| rng.gen_bool(0.4)).collect()).collect();
             assert_eq!(
                 hopcroft_karp(&adj, nr),
                 brute_force_matching(&adj, nr),
@@ -249,11 +243,7 @@ mod tests {
         ] {
             let gamma = gamma_exact(&g);
             let alpha = alpha_exact(&g);
-            assert!(
-                gamma >= alpha / 4.0 - 1e-9,
-                "{name}: γ = {gamma} < α/4 = {}",
-                alpha / 4.0
-            );
+            assert!(gamma >= alpha / 4.0 - 1e-9, "{name}: γ = {gamma} < α/4 = {}", alpha / 4.0);
         }
     }
 

@@ -5,8 +5,6 @@
 //! slice reads. Graphs are immutable once built; dynamic topologies are
 //! sequences of immutable graphs (see [`crate::dynamic`]).
 
-use serde::{Deserialize, Serialize};
-
 /// Dense node identifier. Node ids always form the range `0..n`.
 pub type NodeId = u32;
 
@@ -16,7 +14,7 @@ pub type NodeId = u32;
 /// * neighbor lists are sorted and duplicate-free,
 /// * no self loops,
 /// * symmetry: `v ∈ N(u)` iff `u ∈ N(v)`.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Graph {
     /// `offsets[u]..offsets[u+1]` indexes `u`'s neighbor slice in `adjacency`.
     offsets: Vec<u32>,
@@ -53,18 +51,12 @@ impl Graph {
 
     /// Maximum degree `Δ` over all nodes (0 for an empty or edgeless graph).
     pub fn max_degree(&self) -> usize {
-        (0..self.node_count() as u32)
-            .map(|u| self.degree(u))
-            .max()
-            .unwrap_or(0)
+        (0..self.node_count() as u32).map(|u| self.degree(u)).max().unwrap_or(0)
     }
 
     /// Minimum degree over all nodes.
     pub fn min_degree(&self) -> usize {
-        (0..self.node_count() as u32)
-            .map(|u| self.degree(u))
-            .min()
-            .unwrap_or(0)
+        (0..self.node_count() as u32).map(|u| self.degree(u)).min().unwrap_or(0)
     }
 
     /// True iff `{u, v} ∈ E`. Binary search on the sorted neighbor slice.
@@ -76,11 +68,7 @@ impl Graph {
     /// Iterator over all undirected edges as ordered pairs `(u, v)` with `u < v`.
     pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
         (0..self.node_count() as u32).flat_map(move |u| {
-            self.neighbors(u)
-                .iter()
-                .copied()
-                .filter(move |&v| u < v)
-                .map(move |v| (u, v))
+            self.neighbors(u).iter().copied().filter(move |&v| u < v).map(move |v| (u, v))
         })
     }
 
@@ -241,6 +229,22 @@ impl Graph {
         Ok(())
     }
 
+    /// The raw CSR arrays `(offsets, adjacency)`. Used by [`crate::io`] to
+    /// serialize graphs without an external serialization framework.
+    pub fn csr_parts(&self) -> (&[u32], &[NodeId]) {
+        (&self.offsets, &self.adjacency)
+    }
+
+    /// Reassemble a graph from raw CSR arrays without checking invariants.
+    ///
+    /// `offsets` must be non-empty (a graph on `n` nodes has `n + 1`
+    /// offsets). Callers holding untrusted input must run [`Graph::validate`]
+    /// on the result before using it.
+    pub fn from_csr_parts_unchecked(offsets: Vec<u32>, adjacency: Vec<NodeId>) -> Graph {
+        assert!(!offsets.is_empty(), "CSR offset array must have n + 1 entries");
+        Graph { offsets, adjacency }
+    }
+
     /// The degree sequence, sorted descending. Used by rewiring adversaries
     /// to check degree preservation.
     pub fn degree_sequence(&self) -> Vec<usize> {
@@ -307,7 +311,7 @@ impl GraphBuilder {
             offsets.push(acc);
         }
         let mut cursor: Vec<u32> = offsets[..self.n].to_vec();
-        let mut adjacency = vec![0 as NodeId; acc as usize];
+        let mut adjacency: Vec<NodeId> = vec![0; acc as usize];
         for &(u, v) in &self.edges {
             adjacency[cursor[u as usize] as usize] = v;
             cursor[u as usize] += 1;

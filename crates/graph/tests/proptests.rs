@@ -4,82 +4,90 @@
 //! `γ = min_S ν(B(S))/|S| ≥ α/4`. We check it on arbitrary random connected
 //! graphs, along with structural invariants of the CSR representation,
 //! generators, and dynamic adversaries.
+//!
+//! Cases are generated deterministically by `mtm-testkit` (the offline
+//! replacement for proptest): each test runs a fixed number of seeded
+//! cases and reports the failing case seed on panic.
 
 use mtm_graph::dynamic::{DynamicTopology, EdgeSwapAdversary, RelabelingAdversary};
 use mtm_graph::expansion::{alpha_exact, alpha_of_set, boundary_size};
 use mtm_graph::matching::{brute_force_matching, cut_matching, gamma_exact, hopcroft_karp};
 use mtm_graph::static_graph::from_edges;
 use mtm_graph::{gen, Graph, GraphBuilder};
-use proptest::prelude::*;
+use mtm_testkit::{run_cases, Rng, SmallRng};
 
-/// Strategy: an arbitrary connected graph on 2..=n_max nodes, built by a
-/// random spanning tree plus random extra edges.
-fn connected_graph(n_max: usize) -> impl Strategy<Value = Graph> {
-    (2..=n_max).prop_flat_map(move |n| {
-        let tree_parents = proptest::collection::vec(0u32..u32::MAX, n - 1);
-        let extra = proptest::collection::vec((0u32..n as u32, 0u32..n as u32), 0..n * 2);
-        (tree_parents, extra).prop_map(move |(parents, extra)| {
-            let mut b = GraphBuilder::new(n);
-            for (i, p) in parents.iter().enumerate() {
-                let child = (i + 1) as u32;
-                b.add_edge(child, p % child);
-            }
-            for (u, v) in extra {
-                if u != v {
-                    b.add_edge(u, v);
-                }
-            }
-            b.build()
-        })
-    })
+/// An arbitrary connected graph on 2..=n_max nodes, built by a random
+/// spanning tree plus random extra edges.
+fn connected_graph(rng: &mut SmallRng, n_max: usize) -> Graph {
+    let n = rng.gen_range(2..=n_max);
+    let mut b = GraphBuilder::new(n);
+    for child in 1..n as u32 {
+        b.add_edge(child, rng.gen_range(0..child));
+    }
+    for _ in 0..rng.gen_range(0..n * 2) {
+        let u = rng.gen_range(0..n as u32);
+        let v = rng.gen_range(0..n as u32);
+        if u != v {
+            b.add_edge(u, v);
+        }
+    }
+    b.build()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn csr_symmetry_and_sorted(g in connected_graph(40)) {
+#[test]
+fn csr_symmetry_and_sorted() {
+    run_cases(0x6701, 64, |_case, rng| {
+        let g = connected_graph(rng, 40);
         for u in 0..g.node_count() as u32 {
             let nbrs = g.neighbors(u);
-            prop_assert!(nbrs.windows(2).all(|w| w[0] < w[1]), "unsorted or duplicate neighbors");
+            assert!(nbrs.windows(2).all(|w| w[0] < w[1]), "unsorted or duplicate neighbors");
             for &v in nbrs {
-                prop_assert!(v != u, "self loop");
-                prop_assert!(g.has_edge(v, u), "asymmetric edge");
+                assert!(v != u, "self loop");
+                assert!(g.has_edge(v, u), "asymmetric edge");
             }
         }
-        prop_assert_eq!(g.degree_sum(), 2 * g.edge_count());
-    }
+        assert_eq!(g.degree_sum(), 2 * g.edge_count());
+    });
+}
 
-    #[test]
-    fn connected_strategy_is_connected(g in connected_graph(40)) {
-        prop_assert!(g.is_connected());
-    }
+#[test]
+fn connected_strategy_is_connected() {
+    run_cases(0x6702, 64, |_case, rng| {
+        let g = connected_graph(rng, 40);
+        assert!(g.is_connected());
+    });
+}
 
-    #[test]
-    fn lemma_v1_gamma_ge_alpha_over_4(g in connected_graph(12)) {
+#[test]
+fn lemma_v1_gamma_ge_alpha_over_4() {
+    run_cases(0x6703, 64, |_case, rng| {
+        let g = connected_graph(rng, 12);
         let gamma = gamma_exact(&g);
         let alpha = alpha_exact(&g);
-        prop_assert!(gamma >= alpha / 4.0 - 1e-9,
-            "γ = {} < α/4 = {}", gamma, alpha / 4.0);
-    }
+        assert!(gamma >= alpha / 4.0 - 1e-9, "γ = {gamma} < α/4 = {}", alpha / 4.0);
+    });
+}
 
-    #[test]
-    fn alpha_exact_bounded_and_positive(g in connected_graph(14)) {
+#[test]
+fn alpha_exact_bounded_and_positive() {
+    run_cases(0x6704, 64, |_case, rng| {
         // Note: the paper's "α ≤ 1" claim presumes a balanced cut
         // |S| = n/2 exists; for odd n the best balanced cut has
         // |S| = ⌊n/2⌋, so the tight upper bound is ⌈n/2⌉/⌊n/2⌋
         // (e.g. α(K_3) = 2).
+        let g = connected_graph(rng, 14);
         let n = g.node_count();
         let cap = (n - n / 2) as f64 / (n / 2) as f64;
         let a = alpha_exact(&g);
-        prop_assert!(a > 0.0 && a <= cap + 1e-12, "α = {} > cap {}", a, cap);
-    }
+        assert!(a > 0.0 && a <= cap + 1e-12, "α = {a} > cap {cap}");
+    });
+}
 
-    #[test]
-    fn matching_le_boundary_any_cut(
-        g in connected_graph(14),
-        mask_bits in any::<u64>(),
-    ) {
+#[test]
+fn matching_le_boundary_any_cut() {
+    run_cases(0x6705, 64, |_case, rng| {
+        let g = connected_graph(rng, 14);
+        let mask_bits = rng.gen::<u64>();
         let n = g.node_count();
         let mut in_s: Vec<bool> = (0..n).map(|u| mask_bits & (1 << u) != 0).collect();
         if in_s.iter().all(|&b| !b) {
@@ -90,31 +98,34 @@ proptest! {
         }
         let m = cut_matching(&g, &in_s);
         let b = boundary_size(&g, &in_s);
-        prop_assert!(m <= b, "ν(B(S)) = {} > |∂S| = {}", m, b);
+        assert!(m <= b, "ν(B(S)) = {m} > |∂S| = {b}");
         // A connected graph with a proper nonempty cut always crosses it.
-        prop_assert!(m >= 1, "connected graph must have ≥1 crossing edge");
+        assert!(m >= 1, "connected graph must have ≥1 crossing edge");
         let a = alpha_of_set(&g, &in_s);
-        prop_assert!(a > 0.0);
-    }
+        assert!(a > 0.0);
+    });
+}
 
-    #[test]
-    fn hopcroft_karp_matches_brute_force(
-        edges in proptest::collection::vec((0u32..6, 0u32..6), 0..18)
-    ) {
+#[test]
+fn hopcroft_karp_matches_brute_force() {
+    run_cases(0x6706, 64, |_case, rng| {
         let mut adj: Vec<Vec<u32>> = vec![Vec::new(); 6];
-        for (l, r) in edges {
+        for _ in 0..rng.gen_range(0..18) {
+            let l = rng.gen_range(0..6u32);
+            let r = rng.gen_range(0..6u32);
             if !adj[l as usize].contains(&r) {
                 adj[l as usize].push(r);
             }
         }
-        prop_assert_eq!(hopcroft_karp(&adj, 6), brute_force_matching(&adj, 6));
-    }
+        assert_eq!(hopcroft_karp(&adj, 6), brute_force_matching(&adj, 6));
+    });
+}
 
-    #[test]
-    fn relabeling_adversary_iso_invariants(
-        seed in any::<u64>(),
-        tau in 1u64..5,
-    ) {
+#[test]
+fn relabeling_adversary_iso_invariants() {
+    run_cases(0x6707, 32, |_case, rng| {
+        let seed = rng.gen::<u64>();
+        let tau = rng.gen_range(1..5u64);
         let base = gen::line_of_stars(3, 3);
         let expect_deg = base.degree_sequence();
         let expect_edges = base.edge_count();
@@ -122,56 +133,68 @@ proptest! {
         let mut last: Option<Graph> = None;
         for round in 1..=3 * tau {
             let g = adv.graph_at(round).clone();
-            prop_assert_eq!(g.degree_sequence(), expect_deg.clone());
-            prop_assert_eq!(g.edge_count(), expect_edges);
-            prop_assert!(g.is_connected());
+            assert_eq!(g.degree_sequence(), expect_deg);
+            assert_eq!(g.edge_count(), expect_edges);
+            assert!(g.is_connected());
             // Stability: within an epoch the graph must not change.
             if (round - 1) % tau != 0 {
-                prop_assert_eq!(last.as_ref().unwrap(), &g, "changed inside τ window");
+                assert_eq!(
+                    last.as_ref().expect("previous round recorded"),
+                    &g,
+                    "changed inside τ window"
+                );
             }
             last = Some(g);
         }
-    }
+    });
+}
 
-    #[test]
-    fn edge_swap_adversary_preserves_degrees(
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn edge_swap_adversary_preserves_degrees() {
+    run_cases(0x6708, 32, |_case, rng| {
+        let seed = rng.gen::<u64>();
         let base = gen::random_regular(16, 4, seed % 100);
         let expect = base.degree_sequence();
         let mut adv = EdgeSwapAdversary::new(base, 1, 6, seed);
         for round in 1..=6 {
             let g = adv.graph_at(round);
-            prop_assert_eq!(g.degree_sequence(), expect.clone());
-            prop_assert!(g.is_connected());
+            assert_eq!(g.degree_sequence(), expect);
+            assert!(g.is_connected());
         }
-    }
+    });
+}
 
-    #[test]
-    fn bfs_distances_are_metric_like(g in connected_graph(24)) {
+#[test]
+fn bfs_distances_are_metric_like() {
+    run_cases(0x6709, 64, |_case, rng| {
+        let g = connected_graph(rng, 24);
         let d0 = g.bfs_distances(0);
         for u in 0..g.node_count() as u32 {
-            prop_assert!(d0[u as usize] != u32::MAX, "unreachable in connected graph");
+            assert!(d0[u as usize] != u32::MAX, "unreachable in connected graph");
             for &v in g.neighbors(u) {
                 let du = d0[u as usize] as i64;
                 let dv = d0[v as usize] as i64;
-                prop_assert!((du - dv).abs() <= 1, "BFS distance jump across an edge");
+                assert!((du - dv).abs() <= 1, "BFS distance jump across an edge");
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn from_edges_respects_input(edge_bits in proptest::collection::vec(any::<(u8, u8)>(), 1..30)) {
-        let n = 12;
-        let edges: Vec<(u32, u32)> = edge_bits
-            .into_iter()
-            .map(|(a, b)| ((a % n) as u32, (b % n) as u32))
+#[test]
+fn from_edges_respects_input() {
+    run_cases(0x670A, 64, |_case, rng| {
+        let n = 12u32;
+        let count = rng.gen_range(1..30);
+        let edges: Vec<(u32, u32)> = (0..count)
+            .map(|_| (rng.gen_range(0..n), rng.gen_range(0..n)))
             .filter(|(a, b)| a != b)
             .collect();
-        prop_assume!(!edges.is_empty());
+        if edges.is_empty() {
+            return;
+        }
         let g = from_edges(n as usize, &edges);
         for &(u, v) in &edges {
-            prop_assert!(g.has_edge(u, v));
+            assert!(g.has_edge(u, v));
         }
-    }
+    });
 }

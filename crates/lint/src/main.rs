@@ -1,0 +1,59 @@
+//! `mtm-lint`: audit the workspace sources for determinism and
+//! model-discipline violations. See the library docs for the rule set.
+//!
+//! Usage: `cargo mtm-lint [--json] [ROOT]` (alias) or
+//! `cargo run -p mtm-lint -- [--json] [ROOT]`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--help" | "-h" => {
+                eprintln!("usage: mtm-lint [--json] [ROOT]");
+                return ExitCode::SUCCESS;
+            }
+            other if !other.starts_with('-') => root = Some(PathBuf::from(other)),
+            other => {
+                eprintln!("mtm-lint: unknown flag {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    // Under `cargo run -p mtm-lint` the manifest dir is crates/lint; the
+    // workspace root is two levels up.
+    let root = root.unwrap_or_else(|| match std::env::var_os("CARGO_MANIFEST_DIR") {
+        Some(dir) => PathBuf::from(dir).join("../.."),
+        None => PathBuf::from("."),
+    });
+
+    let report = match mtm_lint::scan_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("mtm-lint: scan failed under {}: {e}", root.display());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if json {
+        println!("{}", report.to_json());
+    } else {
+        for v in &report.violations {
+            println!("{v}");
+        }
+        println!(
+            "mtm-lint: {} file(s) scanned, {} violation(s)",
+            report.files_scanned,
+            report.violations.len()
+        );
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

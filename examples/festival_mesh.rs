@@ -71,7 +71,7 @@ fn main() {
 
 /// Fraction of nodes whose current leader equals the most common choice.
 fn agreement_fraction(nodes: &[NonSyncBitConvergence]) -> f64 {
-    let mut counts = std::collections::HashMap::new();
+    let mut counts = std::collections::BTreeMap::new();
     for node in nodes {
         *counts.entry(node.leader()).or_insert(0usize) += 1;
     }

@@ -33,9 +33,7 @@ fn main() {
             PushPull::spawn(n, 1),
             seed + t,
         );
-        e.run_to_full_information(50_000_000)
-            .stabilized_round
-            .expect("PUSH-PULL must finish")
+        e.run_to_full_information(50_000_000).stabilized_round.expect("PUSH-PULL must finish")
     });
     println!("PUSH-PULL (b = 0): median {push_pull} rounds to inform all {n} phones");
 
@@ -47,9 +45,7 @@ fn main() {
             Ppush::spawn(n, 1),
             seed + t,
         );
-        e.run_to_full_information(50_000_000)
-            .stabilized_round
-            .expect("PPUSH must finish")
+        e.run_to_full_information(50_000_000).stabilized_round.expect("PPUSH must finish")
     });
     println!("PPUSH     (b = 1): median {ppush} rounds to inform all {n} phones");
 

@@ -53,10 +53,7 @@ fn main() {
         seed,
     );
     let nonsync = engine.run_to_stabilization(10_000_000);
-    report(
-        &format!("nonsync bitconv   (b = {})", config.nonsync_tag_bits()),
-        &nonsync,
-    );
+    report(&format!("nonsync bitconv   (b = {})", config.nonsync_tag_bits()), &nonsync);
     println!(
         "\nnonsync stabilized {} rounds after the last of its staggered activations",
         nonsync.rounds_after_activation.unwrap()

@@ -56,11 +56,11 @@ pub mod prelude {
         BitConvergence, BlindGossip, IdPair, NonSyncBitConvergence, Ppush, PullOnly, PushOnly,
         PushPull, TagConfig, UidPool,
     };
-    pub use mtm_graph::adversary::{CyclingTopologies, IsolatingAdversary};
     pub use mtm_engine::{
-        ActivationSchedule, ConnectionPolicy, Engine, LeaderView, ModelParams, Protocol,
-        RumorView, RunOutcome, Scan, Tag,
+        ActivationSchedule, ConnectionPolicy, Engine, LeaderView, ModelParams, Protocol, RumorView,
+        RunOutcome, Scan, Tag,
     };
+    pub use mtm_graph::adversary::{CyclingTopologies, IsolatingAdversary};
     pub use mtm_graph::dynamic::{
         EdgeSwapAdversary, JoinSchedule, LineOfStarsShuffle, RelabelingAdversary, StaticTopology,
         WaypointMobility,

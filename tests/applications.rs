@@ -38,9 +38,7 @@ fn elect_then_order_pipeline() {
         EventOrdering::spawn(uids.as_slice(), leader_index),
         seed ^ 1,
     );
-    let done = ordering.run_until(10_000_000, |e| {
-        e.nodes().iter().all(|p| p.known_count() == n)
-    });
+    let done = ordering.run_until(10_000_000, |e| e.nodes().iter().all(|p| p.known_count() == n));
     assert!(done.is_some(), "ordering must complete");
 
     // Every node holds the identical total order, and the leader's own
@@ -89,9 +87,7 @@ fn aggregation_min_matches_blind_gossip_bound_behaviour() {
         MinGossip::spawn(&values),
         6,
     );
-    let done = e.run_until(10_000_000, |e| {
-        e.nodes().iter().all(|p| p.current_min() == true_min)
-    });
+    let done = e.run_until(10_000_000, |e| e.nodes().iter().all(|p| p.current_min() == true_min));
     assert!(done.is_some());
 }
 

@@ -150,13 +150,8 @@ fn topology_node_count_change_rejected() {
     let topo = Shrinking { big: gen::clique(4), small: gen::clique(3) };
     let nodes: Vec<Scripted> =
         (0..4).map(|_| Scripted { tag: Tag::EMPTY, action: |_| Action::Listen }).collect();
-    let mut e = Engine::new(
-        topo,
-        ModelParams::mobile(0),
-        ActivationSchedule::synchronized(4),
-        nodes,
-        1,
-    );
+    let mut e =
+        Engine::new(topo, ModelParams::mobile(0), ActivationSchedule::synchronized(4), nodes, 1);
     e.step();
     e.step();
 }

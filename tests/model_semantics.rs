@@ -202,7 +202,11 @@ fn selection_permutation_equivalent_to_uniform_choice() {
         fn advertise(&mut self, _l: u64, _r: &mut rand::rngs::SmallRng) -> Tag {
             Tag::EMPTY
         }
-        fn act(&mut self, scan: &Scan<'_>, _r: &mut rand::rngs::SmallRng) -> mobile_telephone::engine::Action {
+        fn act(
+            &mut self,
+            scan: &Scan<'_>,
+            _r: &mut rand::rngs::SmallRng,
+        ) -> mobile_telephone::engine::Action {
             if self.is_hub || scan.is_empty() {
                 mobile_telephone::engine::Action::Listen
             } else {

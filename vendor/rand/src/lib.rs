@@ -1,0 +1,171 @@
+//! Offline vendored stand-in for the `rand` crate.
+//!
+//! The build environment for this repository has no access to crates.io, so
+//! this crate reimplements exactly the deterministic subset of the `rand`
+//! 0.8 API that the workspace uses:
+//!
+//! * [`rngs::SmallRng`] — xoshiro256++ (the same algorithm `rand` 0.8 uses
+//!   for `SmallRng` on 64-bit targets), seeded via SplitMix64 in
+//!   [`SeedableRng::seed_from_u64`].
+//! * [`Rng`] — `gen`, `gen_range` (integer and float ranges), `gen_bool`.
+//! * [`seq::SliceRandom`] — Fisher–Yates `shuffle` and uniform `choose`.
+//!
+//! Everything here is a pure function of the seed: there is deliberately no
+//! `thread_rng`, no `from_entropy`, and no `rand::random` — the workspace's
+//! determinism lint (`mtm-lint`) forbids them, and omitting them entirely
+//! makes the nondeterministic paths unlinkable rather than merely flagged.
+
+pub mod rngs;
+pub mod seq;
+
+mod uniform;
+
+pub use uniform::{SampleRange, SampleUniform, StandardSample};
+
+/// The raw RNG interface: a source of uniformly distributed bits.
+pub trait RngCore {
+    /// Next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fill `dest` with uniformly random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+/// Construction of an RNG from a seed.
+pub trait SeedableRng: Sized {
+    /// Raw seed type (a fixed-size byte array).
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Build the generator from a full-entropy seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Build the generator from a `u64`, expanding it with SplitMix64 —
+    /// byte-compatible with `rand_core` 0.6's default implementation.
+    fn seed_from_u64(mut state: u64) -> Self {
+        // SplitMix64 constants, as in Vigna's reference implementation.
+        const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            state = state.wrapping_add(GOLDEN);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            let len = chunk.len();
+            chunk.copy_from_slice(&bytes[..len]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// High-level sampling methods, available on every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Sample a value of type `T` from its standard distribution
+    /// (full-range integers, `[0, 1)` floats, fair-coin bools).
+    fn gen<T: StandardSample>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+
+    /// Sample uniformly from `range` (`a..b` or `a..=b`).
+    ///
+    /// Panics if the range is empty, matching `rand` 0.8.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli trial with success probability `p`.
+    ///
+    /// Panics unless `0 ≤ p ≤ 1`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool probability {p} outside [0, 1]");
+        // Compare in fixed point to make p = 1.0 always true and p = 0.0
+        // always false regardless of float rounding.
+        if p >= 1.0 {
+            return true;
+        }
+        let threshold = (p * (1u64 << 63) as f64 * 2.0) as u64;
+        self.next_u64() < threshold
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::*;
+
+    #[test]
+    fn seed_from_u64_is_deterministic() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(2);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..100 {
+            assert!(rng.gen_bool(1.0));
+            assert!(!rng.gen_bool(0.0));
+        }
+    }
+
+    #[test]
+    fn gen_bool_is_roughly_fair() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let heads = (0..10_000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!((4_000..6_000).contains(&heads), "heads = {heads}");
+    }
+
+    #[test]
+    fn float_standard_in_unit_interval() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        for _ in 0..1_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn fill_bytes_covers_partial_words() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}

@@ -1,0 +1,89 @@
+//! Slice sampling: shuffle and choose.
+
+use crate::Rng;
+
+/// Random operations on slices.
+pub trait SliceRandom {
+    /// Element type.
+    type Item;
+
+    /// Uniform Fisher–Yates shuffle in place.
+    fn shuffle<R: Rng>(&mut self, rng: &mut R);
+
+    /// A uniformly random element, or `None` if the slice is empty.
+    fn choose<R: Rng>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: Rng>(&mut self, rng: &mut R) {
+        // Durstenfeld's variant: swap position i with a uniform j ≤ i,
+        // walking down from the end.
+        for i in (1..self.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: Rng>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[rng.gen_range(0..self.len())])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::SmallRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn shuffle_moves_things() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let original: Vec<u32> = (0..50).collect();
+        let mut v = original.clone();
+        v.shuffle(&mut rng);
+        assert_ne!(v, original, "a 50-element shuffle staying sorted is ~impossible");
+    }
+
+    #[test]
+    fn choose_empty_is_none() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let v: Vec<u32> = Vec::new();
+        assert!(v.choose(&mut rng).is_none());
+    }
+
+    #[test]
+    fn choose_covers_all_elements() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let v = [10u32, 20, 30];
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            let &x = v.choose(&mut rng).expect("nonempty");
+            seen[(x / 10 - 1) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn single_element_shuffle_is_identity() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut v = [7u8];
+        v.shuffle(&mut rng);
+        assert_eq!(v, [7]);
+    }
+}

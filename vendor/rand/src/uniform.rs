@@ -1,0 +1,264 @@
+//! Standard and range-uniform sampling for the primitive types the
+//! workspace draws.
+
+// The widening `$t as u64` casts below are macro-generated for every
+// integer width; they are only "trivial" for the u64 instantiation.
+#![allow(trivial_numeric_casts)]
+
+use crate::{Rng, RngCore};
+use std::ops::{Range, RangeInclusive};
+
+/// Types samplable from their "standard" distribution via [`Rng::gen`].
+pub trait StandardSample: Sized {
+    /// Draw one value.
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self;
+}
+
+macro_rules! standard_uint {
+    ($($t:ty),*) => {$(
+        impl StandardSample for $t {
+            #[inline]
+            fn sample_standard<R: RngCore>(rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+standard_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {$(
+        impl StandardSample for $t {
+            #[inline]
+            fn sample_standard<R: RngCore>(rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+standard_int!(i8, i16, i32, i64, isize);
+
+impl StandardSample for u128 {
+    #[inline]
+    fn sample_standard<R: RngCore>(rng: &mut R) -> u128 {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl StandardSample for i128 {
+    #[inline]
+    fn sample_standard<R: RngCore>(rng: &mut R) -> i128 {
+        u128::sample_standard(rng) as i128
+    }
+}
+
+impl StandardSample for bool {
+    #[inline]
+    fn sample_standard<R: RngCore>(rng: &mut R) -> bool {
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+impl StandardSample for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision (the `rand` 0.8
+    /// `Standard` construction).
+    #[inline]
+    fn sample_standard<R: RngCore>(rng: &mut R) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for f32 {
+    /// Uniform in `[0, 1)` with 24 bits of precision.
+    #[inline]
+    fn sample_standard<R: RngCore>(rng: &mut R) -> f32 {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Types with a uniform distribution over sub-ranges.
+pub trait SampleUniform: Sized {
+    /// Uniform draw from `[low, high]` (both ends inclusive).
+    fn sample_inclusive<R: RngCore>(rng: &mut R, low: Self, high: Self) -> Self;
+}
+
+/// Uniform in `[0, span)` with rejection to remove modulo bias.
+#[inline]
+fn uniform_below<R: RngCore>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span >= 1);
+    if span.is_power_of_two() {
+        return rng.next_u64() & (span - 1);
+    }
+    // Reject the low `threshold` values so the remaining mass is an exact
+    // multiple of `span`.
+    let threshold = span.wrapping_neg() % span;
+    loop {
+        let v = rng.next_u64();
+        if v >= threshold {
+            return v % span;
+        }
+    }
+}
+
+macro_rules! uniform_uint {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_inclusive<R: RngCore>(rng: &mut R, low: $t, high: $t) -> $t {
+                debug_assert!(low <= high);
+                let span = (high as u64).wrapping_sub(low as u64);
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                low.wrapping_add(uniform_below(rng, span + 1) as $t)
+            }
+        }
+    )*};
+}
+uniform_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! uniform_int {
+    ($($t:ty => $ut:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_inclusive<R: RngCore>(rng: &mut R, low: $t, high: $t) -> $t {
+                debug_assert!(low <= high);
+                // Shift into unsigned space so the span arithmetic is exact.
+                let ulow = (low as $ut).wrapping_sub(<$t>::MIN as $ut);
+                let uhigh = (high as $ut).wrapping_sub(<$t>::MIN as $ut);
+                let picked = <$ut>::sample_inclusive(rng, ulow, uhigh);
+                picked.wrapping_add(<$t>::MIN as $ut) as $t
+            }
+        }
+    )*};
+}
+uniform_int!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+impl SampleUniform for f64 {
+    #[inline]
+    fn sample_inclusive<R: RngCore>(rng: &mut R, low: f64, high: f64) -> f64 {
+        low + (high - low) * f64::sample_standard(rng)
+    }
+}
+
+impl SampleUniform for f32 {
+    #[inline]
+    fn sample_inclusive<R: RngCore>(rng: &mut R, low: f32, high: f32) -> f32 {
+        low + (high - low) * f32::sample_standard(rng)
+    }
+}
+
+/// Range shapes accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draw a uniform value from the range. Panics on empty ranges.
+    fn sample_from<R: Rng>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform + PartialOrd + Copy + SpanStep> SampleRange<T> for Range<T> {
+    #[inline]
+    fn sample_from<R: Rng>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "gen_range called with empty range");
+        T::sample_inclusive(rng, self.start, T::step_down(self.end))
+    }
+}
+
+impl<T: SampleUniform + PartialOrd + Copy> SampleRange<T> for RangeInclusive<T> {
+    #[inline]
+    fn sample_from<R: Rng>(self, rng: &mut R) -> T {
+        let (low, high) = (*self.start(), *self.end());
+        assert!(low <= high, "gen_range called with empty range");
+        T::sample_inclusive(rng, low, high)
+    }
+}
+
+/// Decrement to the previous representable value — turns a half-open
+/// integer bound into an inclusive one. For floats the half-open range is
+/// sampled directly, so `step_down` is the identity.
+pub trait SpanStep {
+    /// The greatest value strictly below `x` (integers); identity for floats.
+    fn step_down(x: Self) -> Self;
+}
+
+macro_rules! span_step_int {
+    ($($t:ty),*) => {$(
+        impl SpanStep for $t {
+            #[inline]
+            fn step_down(x: $t) -> $t {
+                x - 1
+            }
+        }
+    )*};
+}
+span_step_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SpanStep for f64 {
+    #[inline]
+    fn step_down(x: f64) -> f64 {
+        x
+    }
+}
+
+impl SpanStep for f32 {
+    #[inline]
+    fn step_down(x: f32) -> f32 {
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::rngs::SmallRng;
+    use crate::{Rng, SeedableRng};
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(3..17usize);
+            assert!((3..17).contains(&x));
+            let y = rng.gen_range(5..=5u64);
+            assert_eq!(y, 5);
+            let z = rng.gen_range(-4..4i32);
+            assert!((-4..4).contains(&z));
+        }
+    }
+
+    #[test]
+    fn gen_range_hits_every_value() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut seen = [false; 7];
+        for _ in 0..1_000 {
+            seen[rng.gen_range(0..7usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "coverage: {seen:?}");
+    }
+
+    #[test]
+    fn gen_range_float() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..1_000 {
+            let x = rng.gen_range(0.25..0.75f64);
+            assert!((0.25..0.75).contains(&x));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let _ = rng.gen_range(5..5usize);
+    }
+
+    #[test]
+    fn unbiased_small_span() {
+        // Chi-squared-ish sanity: each of 3 buckets gets ~1/3 of draws.
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut counts = [0u32; 3];
+        for _ in 0..30_000 {
+            counts[rng.gen_range(0..3usize)] += 1;
+        }
+        for &c in &counts {
+            assert!((9_000..11_000).contains(&c), "counts: {counts:?}");
+        }
+    }
+}

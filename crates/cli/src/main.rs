@@ -3,9 +3,10 @@
 //! Subcommands:
 //!
 //! * `mtm experiment <id|all> [opts]` — run one (or every) reproduced
-//!   experiment (ids: t1 f1 t2 f2 t3 f3 t4 f4 t5 f5 t6 f6 f7 a1 a2 a3).
+//!   experiment (ids: t1 f1 t2 f2 t3 f3 t4 f4 t5 f5 t6 f6 f7 f8 a1 a2 a3).
 //! * `mtm elect <algo> <family> <n> [opts]` — one leader election run
-//!   (`algo`: blind | bitconv | nonsync).
+//!   (`algo`: blind | bitconv | nonsync; `--detect-stuck` diagnoses
+//!   frozen runs and exits 3).
 //! * `mtm spread <algo> <family> <n> [opts]` — one rumor-spreading run
 //!   (`algo`: push-pull | ppush | classical).
 //! * `mtm graph <family> <n>` — print a family instance's statistics
@@ -20,7 +21,7 @@
 use mtm_core::{
     BitConvergence, BlindGossip, NonSyncBitConvergence, Ppush, PushPull, TagConfig, UidPool,
 };
-use mtm_engine::{ActivationSchedule, Engine, ModelParams};
+use mtm_engine::{ActivationSchedule, Engine, ModelParams, RunStatus};
 use mtm_experiments::ExpOpts;
 use mtm_graph::dynamic::{BoxedTopology, RelabelingAdversary, StaticTopology};
 use mtm_graph::GraphFamily;
@@ -49,7 +50,9 @@ fn main() {
 fn usage() {
     eprintln!("usage:");
     eprintln!("  mtm experiment <id|all> [--quick|--full] [--trials N] [--seed N] [--threads N] [--csv PATH]");
-    eprintln!("  mtm elect <blind|bitconv|nonsync> <family> <n> [--seed N] [--tau N]");
+    eprintln!(
+        "  mtm elect <blind|bitconv|nonsync> <family> <n> [--seed N] [--tau N] [--detect-stuck]"
+    );
     eprintln!("  mtm spread <push-pull|ppush|classical> <family> <n> [--seed N]");
     eprintln!("  mtm graph <family> <n> [--seed N] [--export PATH]");
     eprintln!(
@@ -136,6 +139,7 @@ struct RunArgs {
     tau: Option<u64>,
     max_rounds: u64,
     export: Option<String>,
+    detect_stuck: bool,
 }
 
 fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
@@ -153,6 +157,7 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
     let mut tau = None;
     let mut max_rounds = 500_000_000;
     let mut export = None;
+    let mut detect_stuck = false;
     while i < args.len() {
         match args[i].as_str() {
             "--seed" => {
@@ -184,11 +189,12 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
                 i += 1;
                 export = Some(args.get(i).ok_or("--export needs a path")?.clone());
             }
+            "--detect-stuck" => detect_stuck = true,
             other => return Err(format!("unknown flag: {other}")),
         }
         i += 1;
     }
-    Ok(RunArgs { source, seed, tau, max_rounds, export })
+    Ok(RunArgs { source, seed, tau, max_rounds, export, detect_stuck })
 }
 
 fn build_topology(a: &RunArgs) -> Result<(BoxedTopology, usize, usize), String> {
@@ -232,39 +238,48 @@ fn cmd_elect(args: &[String]) -> i32 {
         a.tau.map_or("∞".to_string(), |t| t.to_string()),
         a.seed
     );
-    let outcome = match algo.as_str() {
+    // With `--detect-stuck`, a frozen run is diagnosed after `window`
+    // unchanged rounds instead of burning the whole --max-rounds budget.
+    // Bit-convergence state changes at most once per phase; blind gossip
+    // has no phase structure, so it gets a flat generous window.
+    macro_rules! run_elect {
+        ($params:expr, $nodes:expr, $window:expr) => {{
+            let mut e = Engine::new(topo, $params, sched, $nodes, a.seed);
+            if a.detect_stuck {
+                e.enable_stuck_detection($window);
+            }
+            let out = e.run_to_stabilization(a.max_rounds);
+            (out, e.last_progress_round())
+        }};
+    }
+    let (outcome, last_progress) = match algo.as_str() {
         "blind" => {
-            let mut e =
-                Engine::new(topo, ModelParams::mobile(0), sched, BlindGossip::spawn(&uids), a.seed);
-            e.run_to_stabilization(a.max_rounds)
+            run_elect!(ModelParams::mobile(0), BlindGossip::spawn(&uids), 4096)
         }
         "bitconv" => {
             let config = TagConfig::for_network(n, delta);
             let nodes = BitConvergence::spawn(&uids, config, a.seed ^ 0x7A6);
-            let mut e = Engine::new(topo, ModelParams::mobile(1), sched, nodes, a.seed);
-            e.run_to_stabilization(a.max_rounds)
+            run_elect!(ModelParams::mobile(1), nodes, 8 * config.phase_len().max(1))
         }
         "nonsync" => {
             let config = TagConfig::for_network(n, delta);
             let nodes = NonSyncBitConvergence::spawn(&uids, config, a.seed ^ 0x7A6);
-            let mut e = Engine::new(
-                topo,
+            run_elect!(
                 ModelParams::mobile(config.nonsync_tag_bits()),
-                sched,
                 nodes,
-                a.seed,
-            );
-            e.run_to_stabilization(a.max_rounds)
+                8 * config.phase_len().max(1)
+            )
         }
         other => {
             eprintln!("unknown algorithm: {other} (expected blind|bitconv|nonsync)");
             return 2;
         }
     };
-    match outcome.stabilized_round {
-        Some(r) => {
+    match outcome.status {
+        RunStatus::Stabilized => {
             println!(
-                "stabilized in {r} rounds; leader UID {:#x}; {} proposals, {} connections ({:.1}% success)",
+                "stabilized in {} rounds; leader UID {:#x}; {} proposals, {} connections ({:.1}% success)",
+                outcome.stabilized_round.unwrap(),
                 outcome.winner.unwrap(),
                 outcome.metrics.proposals,
                 outcome.metrics.connections,
@@ -272,8 +287,30 @@ fn cmd_elect(args: &[String]) -> i32 {
             );
             0
         }
-        None => {
+        RunStatus::Stuck(report) => {
+            println!(
+                "stuck: no state change since round {} (detected at round {}, window {})",
+                report.fixed_since, report.detected_round, report.window
+            );
+            if report.idle_connections == 0 {
+                println!(
+                    "diagnosis: zero connections over the whole window — a fixed point; \
+                     the run would never stabilize (e.g. a tag-collision deadlock)"
+                );
+            } else {
+                println!(
+                    "diagnosis: {} connections during the window changed no node state — \
+                     likely a fixed point under a monotone protocol",
+                    report.idle_connections
+                );
+            }
+            3
+        }
+        RunStatus::TimedOut => {
             println!("did not stabilize within {} rounds", a.max_rounds);
+            if let Some(r) = last_progress {
+                println!("diagnosis: last state change at round {r} — slow but not provably stuck");
+            }
             1
         }
     }

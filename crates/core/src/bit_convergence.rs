@@ -127,6 +127,20 @@ impl Protocol for BitConvergence {
         // each phase").
         self.pending = self.pending.min(*peer);
     }
+
+    fn state_fingerprint(&self) -> Option<u64> {
+        // Durable state only: active + pending pairs and the derived
+        // leader. `current_bit` is per-round scratch recomputed from
+        // `active` each advertise — at a fixed point it cycles through the
+        // same sequence and must not register as progress.
+        Some(mtm_engine::fingerprint::of_words(&[
+            self.active.tag,
+            self.active.uid,
+            self.pending.tag,
+            self.pending.uid,
+            self.leader,
+        ]))
+    }
 }
 
 impl LeaderView for BitConvergence {

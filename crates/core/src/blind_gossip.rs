@@ -79,6 +79,10 @@ impl Protocol for BlindGossip {
     fn on_connect(&mut self, peer: &MinUid, _rng: &mut SmallRng) {
         self.best = self.best.min(peer.0);
     }
+
+    fn state_fingerprint(&self) -> Option<u64> {
+        Some(mtm_engine::fingerprint::of_words(&[self.best]))
+    }
 }
 
 impl LeaderView for BlindGossip {

@@ -129,6 +129,13 @@ impl Protocol for NonSyncBitConvergence {
         // ID pair if the pair they received is smaller").
         self.best = self.best.min(*peer);
     }
+
+    fn state_fingerprint(&self) -> Option<u64> {
+        // Only `best` is durable. `position` is re-randomized at every
+        // group start and `current_bit` follows it — both keep changing at
+        // a fixed point and would mask a deadlock if digested.
+        Some(mtm_engine::fingerprint::of_words(&[self.best.tag, self.best.uid]))
+    }
 }
 
 impl LeaderView for NonSyncBitConvergence {

@@ -69,6 +69,10 @@ impl Protocol for PushPull {
     fn on_connect(&mut self, peer: &RumorBit, _rng: &mut SmallRng) {
         self.informed |= peer.0;
     }
+
+    fn state_fingerprint(&self) -> Option<u64> {
+        Some(self.informed as u64)
+    }
 }
 
 impl RumorView for PushPull {
@@ -141,6 +145,10 @@ impl Protocol for Ppush {
 
     fn on_connect(&mut self, peer: &RumorBit, _rng: &mut SmallRng) {
         self.informed |= peer.0;
+    }
+
+    fn state_fingerprint(&self) -> Option<u64> {
+        Some(self.informed as u64)
     }
 }
 

@@ -158,9 +158,11 @@ fn fail(v: Violation) -> ! {
 }
 
 /// Run the same construction twice for `rounds` rounds and demand that
-/// both executions produce identical [`Metrics`] and identical per-round
-/// [`RoundTrace`] streams — the executable form of the determinism
-/// contract (an execution is a pure function of `(seed, config)`).
+/// both executions produce identical [`Metrics`], identical per-round
+/// [`RoundTrace`] streams, and (when the protocol supports fingerprinting)
+/// identical final network state digests — the executable form of the
+/// determinism contract (an execution is a pure function of
+/// `(seed, config)`).
 ///
 /// Returns the (common) metrics on success, and a description of the
 /// first divergence on failure. `build` must construct a fresh engine
@@ -175,10 +177,10 @@ where
         let mut e = build();
         e.enable_tracing();
         e.run_rounds(rounds);
-        (e.metrics(), e.traces().to_vec())
+        (e.metrics(), e.traces().to_vec(), e.network_fingerprint())
     };
-    let (m1, t1): (Metrics, Vec<RoundTrace>) = run();
-    let (m2, t2) = run();
+    let (m1, t1, f1): (Metrics, Vec<RoundTrace>, Option<u64>) = run();
+    let (m2, t2, f2) = run();
     for (a, b) in t1.iter().zip(t2.iter()) {
         if a != b {
             return Err(format!("round {} trace diverged: {a:?} vs {b:?}", a.round));
@@ -189,6 +191,9 @@ where
     }
     if m1 != m2 {
         return Err(format!("metrics diverged: {m1:?} vs {m2:?}"));
+    }
+    if f1 != f2 {
+        return Err(format!("final network state fingerprints diverged: {f1:?} vs {f2:?}"));
     }
     Ok(m1)
 }

@@ -33,13 +33,82 @@ pub struct RunOutcome {
     /// First round at the end of which the target predicate held (e.g. all
     /// nodes agree on a leader), if reached within the budget.
     pub stabilized_round: Option<u64>,
-    /// Rounds after the last activation until stabilization
-    /// (`stabilized_round - last_activation + 1`), the §VIII metric.
+    /// Rounds after the last activation until stabilization, the §VIII
+    /// metric — see [`rounds_after_activation`] for the exact definition.
     pub rounds_after_activation: Option<u64>,
     /// The agreed leader UID (leader election runs only).
     pub winner: Option<u64>,
+    /// Why the run helper returned: stabilized, ran out of budget, or was
+    /// cut short by the stuck-run detector.
+    pub status: RunStatus,
     /// Aggregate counters for the whole execution.
     pub metrics: Metrics,
+}
+
+/// Why a run-to-* helper returned.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RunStatus {
+    /// The target predicate held within the round budget.
+    Stabilized,
+    /// The round budget ran out with no evidence that further progress is
+    /// impossible — the run may just be slow.
+    TimedOut,
+    /// The stuck-run detector fired: no node's state fingerprint changed
+    /// for a full window of rounds (see [`StuckReport`]). Requires
+    /// [`Engine::enable_stuck_detection`].
+    Stuck(StuckReport),
+}
+
+/// Evidence captured when the stuck-run detector fires.
+///
+/// The detector watches the network fingerprint — the fold of every node's
+/// [`Protocol::state_fingerprint`] — and fires after `window` consecutive
+/// rounds without change, with the topology static over the window and all
+/// activations complete. When `idle_connections == 0` this is a *provable*
+/// fixed point for the paper's algorithms: their durable state changes only
+/// through connections, their decisions depend only on that state, and with
+/// no connections and no state change the round is reproduced verbatim
+/// forever (the A1 β=1 two-leader deadlock is exactly this shape). With
+/// `idle_connections > 0` the verdict is heuristic — connections formed but
+/// none carried news for a full window, which for the paper's *monotone*
+/// protocols still means a fixed point whenever the window exceeds the
+/// information diameter of the frozen state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StuckReport {
+    /// Last round at the end of which the network fingerprint changed (or
+    /// an activation / topology-change barrier reset the window); the state
+    /// has been bit-identical since.
+    pub fixed_since: u64,
+    /// Round at which the detector fired (`fixed_since + window`).
+    pub detected_round: u64,
+    /// The configured window length W, in rounds.
+    pub window: u64,
+    /// Connections formed during the idle window. Zero makes the fixed
+    /// point provable (no payload was exchanged at all).
+    pub idle_connections: u64,
+}
+
+/// The §VIII "rounds after activation" metric: the length of the inclusive
+/// round window `[last_activation, stabilized_round]`. The activation round
+/// itself is charged (stabilizing in the round the last node wakes scores
+/// 1), and a run that was already stable before its last activation scores
+/// 0 — the empty window.
+pub fn rounds_after_activation(stabilized_round: u64, last_activation: u64) -> u64 {
+    if stabilized_round < last_activation {
+        0
+    } else {
+        stabilized_round - last_activation + 1
+    }
+}
+
+/// Progress-tracking state for the stuck-run detector.
+struct StuckDetector {
+    window: u64,
+    last_fp: Option<u64>,
+    stable_rounds: u64,
+    last_change_round: u64,
+    connections_at_change: u64,
+    report: Option<StuckReport>,
 }
 
 /// The model executor. See the crate docs for the per-round phase order.
@@ -53,6 +122,9 @@ pub struct Engine<P: Protocol, T: DynamicTopology> {
     metrics: Metrics,
     traces: Option<Vec<RoundTrace>>,
     connection_log: Option<Vec<(u64, NodeId, NodeId)>>,
+    stuck: Option<StuckDetector>,
+    loss_prob: f64,
+    loss_rng: SmallRng,
     // Workhorse buffers (reused every round).
     tags: Vec<Tag>,
     slots: Vec<Slot>,
@@ -93,6 +165,11 @@ impl<P: Protocol, T: DynamicTopology> Engine<P, T> {
             metrics: Metrics::default(),
             traces: None,
             connection_log: None,
+            stuck: None,
+            loss_prob: 0.0,
+            // Dedicated stream far above the per-node range so enabling
+            // proposal loss never perturbs node randomness.
+            loss_rng: mtm_graph::rng::stream_rng(seed, u64::MAX),
             tags: vec![Tag::EMPTY; n],
             slots: vec![Slot::Inactive; n],
             incoming: vec![Vec::new(); n],
@@ -124,6 +201,74 @@ impl<P: Protocol, T: DynamicTopology> Engine<P, T> {
     /// The connection log (empty unless enabled).
     pub fn connection_log(&self) -> &[(u64, NodeId, NodeId)] {
         self.connection_log.as_deref().unwrap_or(&[])
+    }
+
+    /// Enable the stuck-run detector with a no-progress window of `window`
+    /// rounds (≥ 1).
+    ///
+    /// After every round the engine digests all node states (see
+    /// [`Protocol::state_fingerprint`]); once the digest has stayed
+    /// unchanged for `window` consecutive rounds — counted only while the
+    /// topology holds still and all activations are complete — the run is
+    /// declared stuck: `run_until` and the run-to-* helpers return early
+    /// with [`RunStatus::Stuck`]. This turns the A1 β=1 permanent deadlock
+    /// from a `max_rounds` timeout into an O(window) detection.
+    ///
+    /// Sizing `window`: it must exceed the longest *legitimate* gap between
+    /// durable-state changes. For the phase-staged algorithms a small
+    /// multiple of `phase_len` is safe; for coin-flip gossip use a
+    /// generous constant (a frozen window there is probabilistic evidence
+    /// unless [`StuckReport::idle_connections`] is 0).
+    ///
+    /// Panics if the protocol does not implement `state_fingerprint`.
+    pub fn enable_stuck_detection(&mut self, window: u64) {
+        assert!(window >= 1, "stuck-detection window must be ≥ 1");
+        assert!(
+            self.network_fingerprint().is_some() || self.nodes.is_empty(),
+            "stuck detection requires the protocol to implement state_fingerprint"
+        );
+        self.stuck = Some(StuckDetector {
+            window,
+            last_fp: None,
+            stable_rounds: 0,
+            last_change_round: self.round,
+            connections_at_change: self.metrics.connections,
+            report: None,
+        });
+    }
+
+    /// The stuck-run detector's verdict, if it has fired.
+    pub fn stuck_report(&self) -> Option<StuckReport> {
+        self.stuck.as_ref().and_then(|d| d.report)
+    }
+
+    /// Last round at the end of which the network fingerprint changed (or
+    /// a barrier reset the detector). `None` unless detection is enabled.
+    /// Useful for timeout diagnostics: "no progress since round r".
+    pub fn last_progress_round(&self) -> Option<u64> {
+        self.stuck.as_ref().map(|d| d.last_change_round)
+    }
+
+    /// Fold of every node's [`Protocol::state_fingerprint`] in node order,
+    /// or `None` if the protocol does not support fingerprinting.
+    pub fn network_fingerprint(&self) -> Option<u64> {
+        let mut acc = crate::fingerprint::SEED;
+        for node in &self.nodes {
+            acc = crate::fingerprint::mix(acc, node.state_fingerprint()?);
+        }
+        Some(acc)
+    }
+
+    /// Inject message loss: each proposal is independently dropped with
+    /// probability `prob` before reaching its receiver (the proposer still
+    /// forfeits its round — its radio was committed to sending). Dropped
+    /// proposals count in [`Metrics::dropped_proposals`], never as
+    /// rejections or connections. Loss coins come from a dedicated seed
+    /// stream, so the run stays a pure function of `(seed, config)` and
+    /// node randomness is untouched.
+    pub fn set_proposal_loss(&mut self, prob: f64) {
+        assert!((0.0..=1.0).contains(&prob), "loss probability must be in [0, 1], got {prob}");
+        self.loss_prob = prob;
     }
 
     /// Number of nodes.
@@ -195,6 +340,7 @@ impl<P: Protocol, T: DynamicTopology> Engine<P, T> {
         self.round += 1;
         let round = self.round;
         let n = self.nodes.len();
+        let topo_may_change = self.stuck.is_some() && self.topology.may_change_at(round);
         let graph = self.topology.graph_at(round);
         assert_eq!(graph.node_count(), n, "topology changed node count");
 
@@ -265,6 +411,10 @@ impl<P: Protocol, T: DynamicTopology> Engine<P, T> {
         for u in 0..n {
             if let Slot::Propose(v) = self.slots[u] {
                 self.metrics.proposals += 1;
+                if self.loss_prob > 0.0 && self.loss_rng.gen_bool(self.loss_prob) {
+                    self.metrics.dropped_proposals += 1;
+                    continue;
+                }
                 if self.slots[v as usize] == Slot::Listen {
                     if self.incoming[v as usize].is_empty() {
                         self.touched.push(v);
@@ -355,6 +505,42 @@ impl<P: Protocol, T: DynamicTopology> Engine<P, T> {
                 connections: self.metrics.connections - round_connections_before,
             });
         }
+        if self.stuck.is_some() {
+            self.update_stuck_detector(topo_may_change);
+        }
+    }
+
+    /// Advance the stuck-run detector after a completed round.
+    fn update_stuck_detector(&mut self, topo_may_change: bool) {
+        let fp = self
+            .network_fingerprint()
+            .expect("fingerprint support is constant and was checked at enable time");
+        let round = self.round;
+        // Frozen state is only evidence of a fixed point while the world
+        // holds still: pending activations or a topology change window can
+        // legitimately unfreeze it, so those rounds reset the count.
+        let barrier = topo_may_change || round <= self.schedule.last_activation();
+        let connections = self.metrics.connections;
+        let det = self.stuck.as_mut().expect("caller checked stuck.is_some()");
+        if det.report.is_some() {
+            return;
+        }
+        if barrier || det.last_fp != Some(fp) {
+            det.last_fp = Some(fp);
+            det.stable_rounds = 0;
+            det.last_change_round = round;
+            det.connections_at_change = connections;
+        } else {
+            det.stable_rounds += 1;
+            if det.stable_rounds >= det.window {
+                det.report = Some(StuckReport {
+                    fixed_since: det.last_change_round,
+                    detected_round: round,
+                    window: det.window,
+                    idle_connections: connections - det.connections_at_change,
+                });
+            }
+        }
     }
 
     /// Form a connection between proposer `u` and receiver `v`.
@@ -398,21 +584,50 @@ impl<P: Protocol, T: DynamicTopology> Engine<P, T> {
         }
     }
 
-    /// Step until `pred(self)` holds at the end of a round, or `max_rounds`
-    /// total rounds have executed. Returns the round at which the predicate
-    /// first held.
+    /// Step until `pred(self)` holds, or `max_rounds` total rounds have
+    /// executed. Returns the round at which the predicate first held.
+    ///
+    /// The predicate is evaluated *before* the first step: a network that
+    /// already satisfies it (pre-converged imported state, n ≤ 1) reports
+    /// the current round — possibly 0 — and executes no rounds. When stuck
+    /// detection is enabled the loop also returns `None` as soon as the
+    /// detector fires (see [`Engine::stuck_report`]), well before the
+    /// budget runs out.
     pub fn run_until(
         &mut self,
         max_rounds: u64,
         mut pred: impl FnMut(&Self) -> bool,
     ) -> Option<u64> {
+        if pred(self) {
+            return Some(self.round);
+        }
         while self.round < max_rounds {
             self.step();
             if pred(self) {
                 return Some(self.round);
             }
+            if self.stuck_report().is_some() {
+                return None;
+            }
         }
         None
+    }
+
+    /// Assemble a [`RunOutcome`] for a finished run-to-* helper call.
+    fn outcome(&self, stabilized: Option<u64>, winner: Option<u64>) -> RunOutcome {
+        let last_act = self.schedule.last_activation();
+        let status = match (stabilized, self.stuck_report()) {
+            (Some(_), _) => RunStatus::Stabilized,
+            (None, Some(report)) => RunStatus::Stuck(report),
+            (None, None) => RunStatus::TimedOut,
+        };
+        RunOutcome {
+            stabilized_round: stabilized,
+            rounds_after_activation: stabilized.map(|r| rounds_after_activation(r, last_act)),
+            winner,
+            status,
+            metrics: self.metrics,
+        }
     }
 }
 
@@ -420,7 +635,9 @@ impl<P: Protocol + LeaderView, T: DynamicTopology> Engine<P, T> {
     /// True iff every node (active or not — inactive nodes hold their own
     /// UID, so agreement requires full activation) reports the same leader.
     pub fn leaders_agree(&self) -> Option<u64> {
-        let first = self.nodes[0].leader();
+        // An empty node set has no leader to agree on, not a vacuous
+        // agreement — report disagreement rather than panicking.
+        let first = self.nodes.first()?.leader();
         if self.nodes.iter().all(|p| p.leader() == first) {
             Some(first)
         } else {
@@ -438,13 +655,7 @@ impl<P: Protocol + LeaderView, T: DynamicTopology> Engine<P, T> {
     pub fn run_to_stabilization(&mut self, max_rounds: u64) -> RunOutcome {
         let stabilized = self.run_until(max_rounds, |e| e.leaders_agree().is_some());
         let winner = stabilized.and_then(|_| self.leaders_agree());
-        let last_act = self.schedule.last_activation();
-        RunOutcome {
-            stabilized_round: stabilized,
-            rounds_after_activation: stabilized.map(|r| r.saturating_sub(last_act) + 1),
-            winner,
-            metrics: self.metrics,
-        }
+        self.outcome(stabilized, winner)
     }
 }
 
@@ -457,13 +668,7 @@ impl<P: Protocol + RumorView, T: DynamicTopology> Engine<P, T> {
     /// Run until every node knows the rumor (at most `max_rounds`).
     pub fn run_to_full_information(&mut self, max_rounds: u64) -> RunOutcome {
         let done = self.run_until(max_rounds, |e| e.informed_count() == e.node_count());
-        let last_act = self.schedule.last_activation();
-        RunOutcome {
-            stabilized_round: done,
-            rounds_after_activation: done.map(|r| r.saturating_sub(last_act) + 1),
-            winner: None,
-            metrics: self.metrics,
-        }
+        self.outcome(done, None)
     }
 }
 
@@ -516,6 +721,9 @@ mod tests {
         }
         fn on_connect(&mut self, peer: &U64Payload, _rng: &mut SmallRng) {
             self.best = self.best.min(peer.0);
+        }
+        fn state_fingerprint(&self) -> Option<u64> {
+            Some(crate::fingerprint::of_words(&[self.best]))
         }
     }
 
@@ -855,6 +1063,179 @@ mod tests {
         let out = e.run_to_stabilization(3);
         assert_eq!(out.stabilized_round, None);
         assert_eq!(out.winner, None);
+        assert_eq!(out.status, RunStatus::TimedOut);
         assert_eq!(e.round(), 3);
+    }
+
+    /// All nodes share one `best` value: converged before the first round.
+    fn converged_engine(n: usize, seed: u64) -> Engine<MinSpread, StaticTopology> {
+        let nodes =
+            (0..n).map(|_| MinSpread { uid: 7, best: 7, always_propose_first: false }).collect();
+        Engine::new(
+            StaticTopology::new(gen::clique(n)),
+            ModelParams::mobile(0),
+            ActivationSchedule::synchronized(n),
+            nodes,
+            seed,
+        )
+    }
+
+    #[test]
+    fn run_until_checks_predicate_before_first_step() {
+        let mut e = converged_engine(4, 1);
+        let out = e.run_to_stabilization(1_000);
+        assert_eq!(out.stabilized_round, Some(0), "pre-converged network stabilizes at round 0");
+        assert_eq!(out.status, RunStatus::Stabilized);
+        assert_eq!(out.winner, Some(7));
+        assert_eq!(e.round(), 0, "no round may execute for a pre-converged network");
+    }
+
+    #[test]
+    fn leaders_agree_on_empty_node_set_is_none() {
+        let mut e: Engine<MinSpread, StaticTopology> = Engine::new(
+            StaticTopology::new(mtm_graph::static_graph::from_edges(0, &[])),
+            ModelParams::mobile(0),
+            ActivationSchedule::synchronized(0),
+            Vec::new(),
+            1,
+        );
+        assert_eq!(e.leaders_agree(), None);
+        // And the run helpers survive stepping an empty network.
+        let out = e.run_to_stabilization(5);
+        assert_eq!(out.stabilized_round, None);
+        assert_eq!(out.status, RunStatus::TimedOut);
+    }
+
+    #[test]
+    fn rounds_after_activation_window_semantics() {
+        // Inclusive window [last_activation, stabilized_round]: waking
+        // round charged, pre-stabilized runs score the empty window.
+        assert_eq!(rounds_after_activation(50, 50), 1);
+        assert_eq!(rounds_after_activation(55, 50), 6);
+        assert_eq!(rounds_after_activation(49, 50), 0);
+        assert_eq!(rounds_after_activation(10, 1), 10);
+    }
+
+    #[test]
+    fn rounds_after_activation_matches_hand_computed_schedule() {
+        let sched = ActivationSchedule::explicit(vec![1, 20, 5]);
+        let last = sched.last_activation();
+        assert_eq!(last, 20);
+        // Stabilizing in the round the last node wakes: window {20}, len 1.
+        assert_eq!(rounds_after_activation(20, last), 1);
+        // Rounds 20..=26 inclusive: 7 rounds.
+        assert_eq!(rounds_after_activation(26, last), 7);
+        // Converged before node 1 ever woke: nothing to charge.
+        assert_eq!(rounds_after_activation(19, last), 0);
+    }
+
+    #[test]
+    fn stuck_detector_fires_on_frozen_state() {
+        let mut e = converged_engine(8, 3);
+        e.enable_stuck_detection(10);
+        // Predicate never holds, so only the detector can end this early.
+        let out = e.run_until(100_000, |_| false);
+        assert_eq!(out, None);
+        let rep = e.stuck_report().expect("frozen network must be detected");
+        assert_eq!(rep.window, 10);
+        assert_eq!(rep.fixed_since, 1);
+        assert_eq!(rep.detected_round, 11);
+        assert_eq!(e.round(), 11, "detection must end the run in O(window) rounds");
+    }
+
+    #[test]
+    fn stuck_detection_is_deterministic() {
+        let run = || {
+            let mut e = converged_engine(8, 3);
+            e.enable_stuck_detection(10);
+            e.run_until(100_000, |_| false);
+            e.stuck_report()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn stuck_detector_stays_quiet_while_progressing() {
+        let mut e = engine_on(gen::cycle(12), 12, 7);
+        e.enable_stuck_detection(50_000);
+        let out = e.run_to_stabilization(100_000);
+        assert_eq!(out.status, RunStatus::Stabilized);
+        assert_eq!(out.winner, Some(100));
+    }
+
+    #[test]
+    fn topology_change_windows_reset_stuck_detector() {
+        // Frozen protocol state, but the topology may change every 4
+        // rounds: a 6-round still window never elapses, so the detector
+        // must stay silent even though nothing is progressing.
+        let n = 8;
+        let nodes: Vec<MinSpread> =
+            (0..n).map(|_| MinSpread { uid: 7, best: 7, always_propose_first: false }).collect();
+        let mut e = Engine::new(
+            mtm_graph::dynamic::RelabelingAdversary::new(gen::cycle(n), 4, 5),
+            ModelParams::mobile(0),
+            ActivationSchedule::synchronized(n),
+            nodes,
+            2,
+        );
+        e.enable_stuck_detection(6);
+        e.run_until(200, |_| false);
+        assert_eq!(e.stuck_report(), None);
+        assert_eq!(e.round(), 200);
+    }
+
+    #[test]
+    fn pending_activations_hold_stuck_detector_back() {
+        // Wave 2 wakes at round 40; nodes 0,1 freeze long before that.
+        // The detector may only start counting once everyone is awake.
+        let n = 4;
+        let mut e = Engine::new(
+            StaticTopology::new(gen::clique(n)),
+            ModelParams::mobile(0),
+            ActivationSchedule::two_wave(n, 2, 40),
+            nodes(n),
+            2,
+        );
+        e.enable_stuck_detection(5);
+        let out = e.run_to_stabilization(10_000);
+        assert_eq!(out.status, RunStatus::Stabilized, "wave 2 must still get to join");
+        assert_eq!(out.winner, Some(100));
+        assert!(out.stabilized_round.expect("stabilized") >= 40);
+    }
+
+    #[test]
+    fn proposal_loss_one_drops_everything() {
+        let mut e = engine_on(gen::clique(8), 8, 3);
+        e.set_proposal_loss(1.0);
+        e.run_rounds(30);
+        let m = e.metrics();
+        assert!(m.proposals > 0);
+        assert_eq!(m.dropped_proposals, m.proposals);
+        assert_eq!(m.connections, 0);
+        assert_eq!(m.rejected_proposals, 0);
+    }
+
+    #[test]
+    fn proposal_loss_conserves_and_replays() {
+        let build = || {
+            let mut e = engine_on(gen::clique(10), 10, 7);
+            e.set_proposal_loss(0.3);
+            e
+        };
+        let mut e = build();
+        e.run_rounds(200);
+        let m = e.metrics();
+        assert!(m.dropped_proposals > 0, "p=0.3 over 200 rounds must drop something");
+        assert!(m.connections > 0, "p=0.3 must let most proposals through");
+        assert_eq!(m.proposals, m.connections + m.rejected_proposals + m.dropped_proposals);
+        let mut e2 = build();
+        e2.run_rounds(200);
+        assert_eq!(e2.metrics(), m, "lossy runs must replay identically for one seed");
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0, 1]")]
+    fn proposal_loss_rejects_bad_probability() {
+        engine_on(gen::clique(4), 4, 1).set_proposal_loss(1.5);
     }
 }

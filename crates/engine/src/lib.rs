@@ -34,6 +34,7 @@
 pub mod activation;
 pub mod audit;
 pub mod engine;
+pub mod fingerprint;
 pub mod metrics;
 pub mod model;
 pub mod protocol;
@@ -41,7 +42,7 @@ pub mod runner;
 
 pub use activation::ActivationSchedule;
 pub use audit::determinism_self_check;
-pub use engine::{Engine, RunOutcome};
+pub use engine::{rounds_after_activation, Engine, RunOutcome, RunStatus, StuckReport};
 pub use metrics::{Metrics, RoundTrace};
 pub use model::{ConnectionPolicy, ModelParams, Tag};
 pub use protocol::{Action, LeaderView, PayloadCost, Protocol, RumorView, Scan};

@@ -12,6 +12,10 @@ pub struct Metrics {
     /// Proposals that were lost (sent to a node that itself proposed, or
     /// not selected by the receiver under the single-accept policy).
     pub rejected_proposals: u64,
+    /// Proposals dropped by fault injection before reaching the receiver
+    /// (see [`crate::Engine::set_proposal_loss`]). Conservation invariant:
+    /// `proposals = connections + rejected_proposals + dropped_proposals`.
+    pub dropped_proposals: u64,
 }
 
 impl Metrics {
@@ -50,7 +54,13 @@ mod tests {
 
     #[test]
     fn success_rate_ratio() {
-        let m = Metrics { rounds: 1, proposals: 10, connections: 4, rejected_proposals: 6 };
+        let m = Metrics {
+            rounds: 1,
+            proposals: 10,
+            connections: 4,
+            rejected_proposals: 5,
+            dropped_proposals: 1,
+        };
         assert!((m.proposal_success_rate() - 0.4).abs() < 1e-12);
     }
 }

@@ -100,6 +100,26 @@ pub trait Protocol: Send {
     /// Phase 5: end-of-round bookkeeping (e.g. bit-convergence nodes adopt
     /// pending ID pairs at phase boundaries). Default: nothing.
     fn end_round(&mut self, _local_round: u64, _rng: &mut SmallRng) {}
+
+    /// A digest of this node's *durable* state, or `None` (the default)
+    /// when the protocol does not support progress tracking.
+    ///
+    /// Consumed by the engine's stuck-run detector (see
+    /// [`Engine::enable_stuck_detection`]): a window of rounds in which no
+    /// node's fingerprint changes is evidence the run can no longer make
+    /// progress. The digest must cover exactly the state whose change
+    /// constitutes progress (e.g. the smallest ID pair seen so far) and
+    /// must *exclude* per-round scratch that is re-randomized without
+    /// reflecting progress (e.g. which bit position a node happens to be
+    /// advertising this group) — including such scratch would make a
+    /// deadlocked network look permanently busy. Build the digest with
+    /// [`crate::fingerprint::of_words`]. Support must be constant over a
+    /// node's lifetime: return `Some` always or `None` always.
+    ///
+    /// [`Engine::enable_stuck_detection`]: crate::Engine::enable_stuck_detection
+    fn state_fingerprint(&self) -> Option<u64> {
+        None
+    }
 }
 
 /// Read access to a leader-election protocol's current `leader` variable.

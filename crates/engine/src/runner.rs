@@ -31,21 +31,43 @@ where
         return (0..trials).map(|t| f(t, derive_seed(base_seed, t as u64))).collect();
     }
 
+    // Workers claim trial indices from a shared counter and send each
+    // result tagged with its index; the parent thread owns the result
+    // vector outright, so completed trials never contend on a lock. A
+    // worker panic tears down the scope (scoped threads propagate panics
+    // on join), which is the loud failure we want.
     let next = std::sync::atomic::AtomicUsize::new(0);
     let mut results: Vec<Option<R>> = (0..trials).map(|_| None).collect();
-    let results_ptr = std::sync::Mutex::new(&mut results);
+    let (tx, rx) = std::sync::mpsc::channel::<(usize, R)>();
+    let (next, f) = (&next, &f);
 
     std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let t = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if t >= trials {
-                    break;
-                }
-                let r = f(t, derive_seed(base_seed, t as u64));
-                let mut guard = results_ptr.lock().expect("a trial worker panicked");
-                guard[t] = Some(r);
-            });
+        let workers: Vec<_> = (0..threads)
+            .map(|_| {
+                let tx = tx.clone();
+                scope.spawn(move || loop {
+                    let t = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if t >= trials {
+                        break;
+                    }
+                    let r = f(t, derive_seed(base_seed, t as u64));
+                    if tx.send((t, r)).is_err() {
+                        break; // receiver gone: another worker panicked
+                    }
+                })
+            })
+            .collect();
+        drop(tx); // senders now live only in the workers
+        for (t, r) in rx {
+            debug_assert!(results[t].is_none(), "trial {t} claimed twice");
+            results[t] = Some(r);
+        }
+        // Explicit joins so a worker panic resurfaces with its original
+        // payload instead of the scope's generic message.
+        for w in workers {
+            if let Err(payload) = w.join() {
+                std::panic::resume_unwind(payload);
+            }
         }
     });
 
@@ -83,5 +105,42 @@ mod tests {
     fn single_thread_path() {
         let out = run_trials(5, 9, 1, |t, _| t);
         assert_eq!(out, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let caught = std::panic::catch_unwind(|| {
+            run_trials(8, 1, 4, |t, _seed| {
+                if t == 5 {
+                    panic!("trial 5 exploded");
+                }
+                t
+            })
+        })
+        .expect_err("a panicking trial must fail the whole fan-out");
+        let msg = caught
+            .downcast_ref::<&str>()
+            .copied()
+            .or_else(|| caught.downcast_ref::<String>().map(String::as_str))
+            .expect("panic payload should be a string");
+        // The scope join repanics with the worker's payload, not a poisoned
+        // lock message.
+        assert!(msg.contains("trial 5 exploded"), "unexpected panic payload: {msg}");
+    }
+
+    #[test]
+    fn heavy_parallel_fanout_keeps_order() {
+        // More trials than threads with uneven per-trial work: results must
+        // still land in trial order.
+        let out = run_trials(64, 3, 8, |t, seed| {
+            let mut acc = seed;
+            for _ in 0..(t % 7) * 1000 {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(t as u64);
+            }
+            (t, acc)
+        });
+        for (i, &(t, _)) in out.iter().enumerate() {
+            assert_eq!(i, t);
+        }
     }
 }

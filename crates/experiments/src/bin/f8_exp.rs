@@ -1,0 +1,8 @@
+//! Harness binary for experiment F8: stabilization time under crash
+//! churn and message loss.
+
+fn main() {
+    let opts = mtm_experiments::ExpOpts::from_env();
+    let table = mtm_experiments::exp_f8::run(&opts);
+    opts.emit("F8", "Fault injection: crash churn x message loss vs stabilization", &table);
+}

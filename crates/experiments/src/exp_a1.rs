@@ -16,20 +16,23 @@
 //! them and the UID tie-break never propagates: the network stabilizes to
 //! two co-existing leaders and `leader` variables never agree. The paper's
 //! `β·log N`-bit tags make this a negligible-probability event; the `β=1`
-//! rows below show it happening (as timeouts paired with collisions).
+//! rows below show it happening. Each trial runs the engine's stuck-run
+//! detector (window 4·phase_len), so a deadlock is *proven* in O(window)
+//! rounds — the "deadlocks" column — instead of burning the whole
+//! `max_rounds` budget and being indistinguishable from "slow".
 
 use mtm_analysis::table::{fmt_f64, Table};
 use mtm_core::{BitConvergence, TagConfig, UidPool};
 use mtm_engine::runner::run_trials;
-use mtm_engine::{ActivationSchedule, Engine, ModelParams};
+use mtm_engine::{ActivationSchedule, Engine, ModelParams, RunStatus};
 use mtm_graph::rng::derive_seed;
 use mtm_graph::{GraphFamily, StaticTopology};
 
 use crate::harness::summarize;
 use crate::opts::{ExpOpts, Scale};
 
-/// One trial: `(stabilization rounds, had tag collision)`.
-fn trial(n: usize, beta: f64, seed: u64, max_rounds: u64) -> (Option<u64>, bool) {
+/// One trial: `(stabilization rounds, had tag collision, deadlocked)`.
+fn trial(n: usize, beta: f64, seed: u64, max_rounds: u64) -> (Option<u64>, bool, bool) {
     let g = GraphFamily::Expander8.build(n, derive_seed(seed, 0));
     let n_actual = g.node_count();
     let config = TagConfig::new(n_actual, beta, g.max_degree());
@@ -45,7 +48,11 @@ fn trial(n: usize, beta: f64, seed: u64, max_rounds: u64) -> (Option<u64>, bool)
         nodes,
         derive_seed(seed, 11),
     );
-    (e.run_to_stabilization(max_rounds).stabilized_round, collision)
+    // Durable state changes at most every phase: a few phases with zero
+    // change on the static topology proves the two-leader deadlock.
+    e.enable_stuck_detection(4 * config.phase_len().max(1));
+    let out = e.run_to_stabilization(max_rounds);
+    (out.stabilized_round, collision, matches!(out.status, RunStatus::Stuck(_)))
 }
 
 /// Run the experiment, returning the result table.
@@ -61,15 +68,17 @@ pub fn run(opts: &ExpOpts) -> Table {
         "mean rounds",
         "median",
         "collision rate",
+        "deadlocks",
         "timeouts",
     ]);
     for &beta in betas {
-        let results: Vec<(Option<u64>, bool)> =
+        let results: Vec<(Option<u64>, bool, bool)> =
             run_trials(trials, opts.seed, opts.threads, move |_t, seed| {
                 trial(n, beta, seed, max_rounds)
             });
-        let rounds: Vec<Option<u64>> = results.iter().map(|(r, _)| *r).collect();
-        let collisions = results.iter().filter(|(_, c)| *c).count();
+        let rounds: Vec<Option<u64>> = results.iter().map(|(r, _, _)| *r).collect();
+        let collisions = results.iter().filter(|(_, c, _)| *c).count();
+        let deadlocks = results.iter().filter(|(_, _, s)| *s).count();
         let ts = summarize(&rounds);
         let k = TagConfig::new(n, beta, 8).k;
         table.push_row(vec![
@@ -79,7 +88,8 @@ pub fn run(opts: &ExpOpts) -> Table {
             ts.summary.as_ref().map_or("-".into(), |s| fmt_f64(s.mean)),
             ts.summary.as_ref().map_or("-".into(), |s| fmt_f64(s.median)),
             format!("{collisions}/{trials}"),
-            ts.timeouts.to_string(),
+            deadlocks.to_string(),
+            (ts.timeouts - deadlocks).to_string(),
         ]);
     }
     table
@@ -98,6 +108,7 @@ mod tests {
         // β = 3 gives unique tags at n = 32 with near-certainty and must
         // stabilize; β = 1 may deadlock (that is the finding).
         let beta3 = &t.rows()[1];
-        assert_eq!(beta3[6], "0", "β = 3 should not time out: {beta3:?}");
+        assert_eq!(beta3[6], "0", "β = 3 should not deadlock: {beta3:?}");
+        assert_eq!(beta3[7], "0", "β = 3 should not time out: {beta3:?}");
     }
 }

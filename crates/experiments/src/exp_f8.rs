@@ -1,0 +1,142 @@
+//! **F8 — fault injection: crash churn × message loss vs stabilization
+//! time** (robustness beyond the paper's fault-free model).
+//!
+//! The paper's analysis assumes every device stays up and every accepted
+//! proposal completes. Real smartphone deployments (§IX) see neither:
+//! devices die and recover (battery, app suspension) and transfers abort.
+//! This experiment measures how gracefully non-synchronized bit
+//! convergence degrades when both fault processes are switched on:
+//!
+//! * **crash churn** — [`FaultyTopology`] runs a per-node Markov chain
+//!   (crash with probability `crash` per round, recover with probability
+//!   [`RECOVER`]), so in steady state a `crash/(crash+RECOVER)` fraction
+//!   of nodes is dark at any time;
+//! * **message loss** — `Engine::set_proposal_loss(p)` drops each
+//!   accepted connection proposal independently with probability `p`.
+//!
+//! Both processes are seed-derived, so every cell of the sweep replays
+//! exactly (the determinism contract holds under faults — see
+//! `tests/robustness.rs`). The sweep crosses crash rates with loss rates
+//! on an 8-regular expander and the §VI line-of-stars; the "slowdown"
+//! column is mean rounds relative to the fault-free cell of the same
+//! topology. Expected shape: graceful, roughly `1/(1-p)`-ish degradation
+//! from loss alone, a mild penalty from churn while recover ≫ crash, and
+//! a super-linear penalty on the line of stars, whose single-hub cut
+//! makes every spine crash a temporary partition.
+
+use mtm_analysis::table::{fmt_f64, Table};
+use mtm_core::{NonSyncBitConvergence, TagConfig, UidPool};
+use mtm_engine::runner::run_trials;
+use mtm_engine::{ActivationSchedule, Engine, ModelParams};
+use mtm_graph::rng::derive_seed;
+use mtm_graph::{FaultConfig, FaultyTopology, GraphFamily, StaticTopology};
+
+use crate::harness::summarize;
+use crate::opts::{ExpOpts, Scale};
+
+/// Per-round recovery probability for every crashed node. Held fixed
+/// across the sweep so the steady-state down fraction is
+/// `crash / (crash + RECOVER)` — the crash axis alone controls severity.
+pub const RECOVER: f64 = 0.1;
+
+/// One trial: rounds to stabilization under the given fault mix.
+fn trial(
+    family: GraphFamily,
+    n: usize,
+    crash: f64,
+    loss: f64,
+    seed: u64,
+    max_rounds: u64,
+) -> Option<u64> {
+    let g = family.build(n, derive_seed(seed, 0));
+    let n_actual = g.node_count();
+    let config = TagConfig::for_network(n_actual, g.max_degree());
+    let uids = UidPool::random(n_actual, derive_seed(seed, 10));
+    let nodes = NonSyncBitConvergence::spawn(&uids, config, derive_seed(seed, 12));
+    let cfg = if crash > 0.0 { FaultConfig::crashes(crash, RECOVER) } else { FaultConfig::NONE };
+    let topo = FaultyTopology::new(StaticTopology::new(g), cfg, derive_seed(seed, 13));
+    let mut e = Engine::new(
+        topo,
+        ModelParams::mobile(config.nonsync_tag_bits()),
+        ActivationSchedule::synchronized(n_actual),
+        nodes,
+        derive_seed(seed, 11),
+    );
+    e.set_proposal_loss(loss);
+    e.run_to_stabilization(max_rounds).stabilized_round
+}
+
+/// Run the experiment, returning the result table.
+pub fn run(opts: &ExpOpts) -> Table {
+    let (n, crashes, losses, trials, max_rounds): (usize, &[f64], &[f64], usize, u64) =
+        match opts.scale {
+            Scale::Quick => (32, &[0.0, 0.002], &[0.0, 0.2], opts.trials_or(2), 5_000_000),
+            Scale::Full => {
+                (128, &[0.0, 0.001, 0.005], &[0.0, 0.1, 0.3], opts.trials_or(8), 100_000_000)
+            }
+        };
+    let families = [GraphFamily::Expander8, GraphFamily::LineOfStars];
+    let mut table = Table::new(vec![
+        "topology",
+        "n",
+        "crash",
+        "loss",
+        "trials",
+        "mean rounds",
+        "median",
+        "slowdown",
+        "timeouts",
+    ]);
+    for family in families {
+        let n_actual = family.build(n, 0).node_count();
+        let mut baseline_mean: Option<f64> = None;
+        for &crash in crashes {
+            for &loss in losses {
+                let results: Vec<Option<u64>> =
+                    run_trials(trials, opts.seed, opts.threads, move |_t, seed| {
+                        trial(family, n, crash, loss, seed, max_rounds)
+                    });
+                let ts = summarize(&results);
+                let mean = ts.summary.as_ref().map(|s| s.mean);
+                if crash == 0.0 && loss == 0.0 {
+                    baseline_mean = mean;
+                }
+                let slowdown = match (mean, baseline_mean) {
+                    (Some(m), Some(b)) if b > 0.0 => fmt_f64(m / b),
+                    _ => "-".into(),
+                };
+                table.push_row(vec![
+                    family.name().to_string(),
+                    n_actual.to_string(),
+                    fmt_f64(crash),
+                    fmt_f64(loss),
+                    trials.to_string(),
+                    mean.map_or("-".into(), fmt_f64),
+                    ts.summary.as_ref().map_or("-".into(), |s| fmt_f64(s.median)),
+                    slowdown,
+                    ts.timeouts.to_string(),
+                ]);
+            }
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_shape() {
+        let mut opts = ExpOpts::quick();
+        opts.trials = 1;
+        let t = run(&opts);
+        assert_eq!(t.len(), 8); // 2 topologies × 2 crash rates × 2 loss rates
+        for row in t.rows() {
+            assert_eq!(row[8], "0", "no cell should time out at quick scale: {row:?}");
+        }
+        // The fault-free cells anchor the slowdown column at 1.
+        assert_eq!(t.rows()[0][7], fmt_f64(1.0));
+        assert_eq!(t.rows()[4][7], fmt_f64(1.0));
+    }
+}

@@ -18,6 +18,8 @@
 //! | F5 | Thm V.2 — PPUSH matching approximation `m/f(r)` | [`exp_f5`] |
 //! | T6 | §IX — tag length ablation `b ∈ {0, 1, log log n}` | [`exp_t6`] |
 //! | F6 | related work — mobile vs classical model gap | [`exp_f6`] |
+//! | F7 | convergence trajectories per algorithm | [`exp_f7`] |
+//! | F8 | fault injection — crash churn × message loss | [`exp_f8`] |
 //!
 //! Every experiment is a pure function of [`opts::ExpOpts`] (trials, seed,
 //! scale), prints an aligned table, and can emit CSV for EXPERIMENTS.md.
@@ -35,6 +37,7 @@ pub mod exp_f4;
 pub mod exp_f5;
 pub mod exp_f6;
 pub mod exp_f7;
+pub mod exp_f8;
 pub mod exp_t1;
 pub mod exp_t2;
 pub mod exp_t3;
@@ -61,6 +64,7 @@ pub fn run_by_id(id: &str, opts: &ExpOpts) -> Option<mtm_analysis::table::Table>
         "t6" => Some(exp_t6::run(opts)),
         "f6" => Some(exp_f6::run(opts)),
         "f7" => Some(exp_f7::run(opts)),
+        "f8" => Some(exp_f8::run(opts)),
         "a1" => Some(exp_a1::run(opts)),
         "a2" => Some(exp_a2::run(opts)),
         "a3" => Some(exp_a3::run(opts)),
@@ -69,6 +73,7 @@ pub fn run_by_id(id: &str, opts: &ExpOpts) -> Option<mtm_analysis::table::Table>
 }
 
 /// Experiment ids in presentation order (paper claims T*/F*, ablations A*).
-pub const ALL_IDS: [&str; 16] = [
-    "t1", "f1", "t2", "f2", "t3", "f3", "t4", "f4", "t5", "f5", "t6", "f6", "f7", "a1", "a2", "a3",
+pub const ALL_IDS: [&str; 17] = [
+    "t1", "f1", "t2", "f2", "t3", "f3", "t4", "f4", "t5", "f5", "t6", "f6", "f7", "f8", "a1", "a2",
+    "a3",
 ];

@@ -49,6 +49,24 @@ pub trait DynamicTopology {
 
     /// The topology for round `round` (1-based).
     fn graph_at(&mut self, round: u64) -> &Graph;
+
+    /// True iff the graph at `round` may differ from the graph at
+    /// `round - 1`. Round 1 (the initial graph) always counts as a change.
+    ///
+    /// Consumed by the engine's stuck-run detector: a frozen protocol
+    /// state only evidences a fixed point over rounds where the topology
+    /// also held still. The default derives a conservative answer from
+    /// [`tau`](DynamicTopology::tau) — epoch boundaries `1, τ+1, 2τ+1, …`
+    /// may change, `τ = ∞` never changes after round 1. Implementations
+    /// with sparser schedules (e.g. a single join round) should override
+    /// for earlier detection; implementations that change off the epoch
+    /// grid must override for correctness.
+    fn may_change_at(&self, round: u64) -> bool {
+        match self.tau() {
+            None => round <= 1,
+            Some(tau) => round <= 1 || (round - 1).is_multiple_of(tau),
+        }
+    }
 }
 
 /// `τ = ∞`: one fixed graph forever.
@@ -448,6 +466,9 @@ impl DynamicTopology for JoinSchedule {
             &self.after
         }
     }
+    fn may_change_at(&self, round: u64) -> bool {
+        round <= 1 || round == self.join_round
+    }
 }
 
 /// Box a topology for dynamic dispatch in harness code.
@@ -462,6 +483,9 @@ impl<T: DynamicTopology + ?Sized> DynamicTopology for Box<T> {
     }
     fn graph_at(&mut self, round: u64) -> &Graph {
         (**self).graph_at(round)
+    }
+    fn may_change_at(&self, round: u64) -> bool {
+        (**self).may_change_at(round)
     }
 }
 
@@ -591,6 +615,29 @@ mod tests {
         let left = gen::clique(3);
         let right = gen::clique(3);
         let _ = JoinSchedule::new(&left, &right, &[(0, 1)], 5);
+    }
+
+    #[test]
+    fn may_change_at_follows_epoch_grid() {
+        let t = StaticTopology::new(gen::clique(4));
+        assert!(t.may_change_at(1));
+        assert!(!t.may_change_at(2) && !t.may_change_at(1000));
+        let adv = RelabelingAdversary::new(gen::cycle(6), 3, 1);
+        assert!(adv.may_change_at(1));
+        assert!(!adv.may_change_at(2) && !adv.may_change_at(3));
+        assert!(adv.may_change_at(4));
+        assert!(adv.may_change_at(7));
+    }
+
+    #[test]
+    fn join_schedule_changes_only_at_join_round() {
+        let left = gen::clique(3);
+        let right = gen::clique(3);
+        let j = JoinSchedule::new(&left, &right, &[(0, 3)], 10);
+        assert!(j.may_change_at(1));
+        assert!(!j.may_change_at(9));
+        assert!(j.may_change_at(10));
+        assert!(!j.may_change_at(11));
     }
 
     #[test]

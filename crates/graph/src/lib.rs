@@ -30,6 +30,7 @@ pub mod adversary;
 pub mod dynamic;
 pub mod expansion;
 pub mod family;
+pub mod faults;
 pub mod gen;
 pub mod io;
 pub mod matching;
@@ -38,4 +39,5 @@ pub mod static_graph;
 
 pub use dynamic::{DynamicTopology, StaticTopology};
 pub use family::GraphFamily;
+pub use faults::{FaultConfig, FaultyTopology, ScheduledCrashes};
 pub use static_graph::{Graph, GraphBuilder, NodeId};

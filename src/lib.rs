@@ -57,13 +57,14 @@ pub mod prelude {
         PushPull, TagConfig, UidPool,
     };
     pub use mtm_engine::{
-        ActivationSchedule, ConnectionPolicy, Engine, LeaderView, ModelParams, Protocol, RumorView,
-        RunOutcome, Scan, Tag,
+        rounds_after_activation, ActivationSchedule, ConnectionPolicy, Engine, LeaderView,
+        ModelParams, Protocol, RumorView, RunOutcome, RunStatus, Scan, StuckReport, Tag,
     };
     pub use mtm_graph::adversary::{CyclingTopologies, IsolatingAdversary};
     pub use mtm_graph::dynamic::{
         EdgeSwapAdversary, JoinSchedule, LineOfStarsShuffle, RelabelingAdversary, StaticTopology,
         WaypointMobility,
     };
+    pub use mtm_graph::faults::{FaultConfig, FaultyTopology, ScheduledCrashes};
     pub use mtm_graph::{gen, DynamicTopology, Graph, GraphBuilder, GraphFamily, NodeId};
 }

@@ -1,0 +1,399 @@
+//! Minimal JSON value, parser, and renderer.
+//!
+//! The offline build has no serde, so the throughput harness round-trips
+//! `BENCH_engine.json` through this hand-rolled module (same approach as
+//! `mtm-lint`'s report writer). Objects preserve insertion order via a
+//! `Vec<(String, Value)>` — no hash maps, so rendering is deterministic.
+
+use std::fmt::Write as _;
+
+/// A JSON document node.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Value>),
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Member lookup on an object (None for other variants / missing key).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Mutable member lookup on an object.
+    pub fn get_mut(&mut self, key: &str) -> Option<&mut Value> {
+        match self {
+            Value::Obj(members) => members.iter_mut().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Insert or replace a member on an object (panics on non-objects).
+    pub fn set(&mut self, key: &str, value: Value) {
+        let Value::Obj(members) = self else { panic!("set on non-object") };
+        match members.iter_mut().find(|(k, _)| k == key) {
+            Some((_, v)) => *v = value,
+            None => members.push((key.to_string(), value)),
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Object members in insertion order (None for other variants).
+    pub fn members(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Obj(members) => Some(members),
+            _ => None,
+        }
+    }
+
+    /// Render as pretty-printed JSON (2-space indent, trailing newline).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn render_into(&self, out: &mut String, indent: usize) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Num(x) => {
+                assert!(x.is_finite(), "cannot render non-finite number");
+                if x.fract() == 0.0 && x.abs() < 9e15 {
+                    let _ = write!(out, "{}", *x as i64);
+                } else {
+                    // {:?} is Rust's shortest round-trippable f64 repr.
+                    let _ = write!(out, "{x:?}");
+                }
+            }
+            Value::Str(s) => render_string(out, s),
+            Value::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    pad(out, indent + 1);
+                    item.render_into(out, indent + 1);
+                }
+                out.push('\n');
+                pad(out, indent);
+                out.push(']');
+            }
+            Value::Obj(members) => {
+                if members.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    pad(out, indent + 1);
+                    render_string(out, k);
+                    out.push_str(": ");
+                    v.render_into(out, indent + 1);
+                }
+                out.push('\n');
+                pad(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn pad(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn render_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parse a JSON document. Errors carry a byte offset and message.
+pub fn parse(input: &str) -> Result<Value, String> {
+    let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing data at byte {}", p.pos));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(format!("unexpected input at byte {}", self.pos)),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Value) -> Result<Value, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b'-' | b'+' | b'.' | b'e' | b'E') | Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii slice is valid utf-8");
+        text.parse::<f64>()
+            .map(Value::Num)
+            .map_err(|_| format!("bad number '{text}' at byte {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or("unterminated escape")?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => s.push('"'),
+                        b'\\' => s.push('\\'),
+                        b'/' => s.push('/'),
+                        b'n' => s.push('\n'),
+                        b't' => s.push('\t'),
+                        b'r' => s.push('\r'),
+                        b'b' => s.push('\u{8}'),
+                        b'f' => s.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                                16,
+                            )
+                            .map_err(|_| "bad \\u escape")?;
+                            self.pos += 4;
+                            s.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.pos - 1)),
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (multi-byte sequences pass
+                    // through unchanged).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| "invalid utf-8 in string")?;
+                    let c = rest.chars().next().expect("non-empty rest");
+                    s.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, String> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let v = self.value()?;
+            members.push((key, v));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(members));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_nested() {
+        let v = Value::Obj(vec![
+            ("schema".to_string(), Value::Str("v1".to_string())),
+            (
+                "series".to_string(),
+                Value::Obj(vec![(
+                    "before".to_string(),
+                    Value::Arr(vec![Value::Obj(vec![
+                        ("bench".to_string(), Value::Str("a/b-c".to_string())),
+                        ("nodes".to_string(), Value::Num(1024.0)),
+                        ("ns".to_string(), Value::Num(9.537)),
+                        ("ok".to_string(), Value::Bool(true)),
+                        ("none".to_string(), Value::Null),
+                    ])]),
+                )]),
+            ),
+        ]);
+        let text = v.render();
+        let back = parse(&text).expect("parse rendered output");
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn parses_numbers_and_escapes() {
+        let v =
+            parse(r#"{"a": -1.5e3, "b": "x\n\"y\"", "c": [1, 2], "d": []}"#).expect("valid doc");
+        assert_eq!(v.get("a").and_then(Value::as_f64), Some(-1500.0));
+        assert_eq!(v.get("b").and_then(Value::as_str), Some("x\n\"y\""));
+        assert_eq!(v.get("c").and_then(Value::as_arr).map(<[Value]>::len), Some(2));
+        assert_eq!(v.get("d").and_then(Value::as_arr).map(<[Value]>::len), Some(0));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("01x").is_err());
+        assert!(parse("{\"a\": 1} trailing").is_err());
+    }
+
+    #[test]
+    fn integers_render_without_fraction() {
+        assert_eq!(Value::Num(1_048_576.0).render(), "1048576\n");
+        assert_eq!(Value::Num(9.5).render(), "9.5\n");
+    }
+
+    #[test]
+    fn set_replaces_and_appends() {
+        let mut v = Value::Obj(vec![]);
+        v.set("x", Value::Num(1.0));
+        v.set("x", Value::Num(2.0));
+        v.set("y", Value::Num(3.0));
+        assert_eq!(v.get("x").and_then(Value::as_f64), Some(2.0));
+        assert_eq!(v.members().map(<[(String, Value)]>::len), Some(2));
+    }
+}

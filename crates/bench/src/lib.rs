@@ -14,6 +14,8 @@
 use mtm_experiments::ExpOpts;
 
 pub mod harness;
+pub mod json;
+pub mod throughput;
 
 /// Quick-scale single-trial options used by every experiment benchmark.
 pub fn bench_opts() -> ExpOpts {

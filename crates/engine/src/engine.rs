@@ -6,8 +6,36 @@
 //! synchronous round-based system); parallelism lives one level up, across
 //! trials (see [`crate::runner`]).
 //!
-//! Performance notes: all per-round state lives in workhorse buffers reused
-//! across rounds — steady-state execution performs no heap allocation.
+//! # Hot-path design
+//!
+//! All per-round state lives in workhorse buffers reused across rounds —
+//! steady-state execution performs no heap allocation. Three further
+//! mechanisms keep the per-node-round cost flat at large `n`:
+//!
+//! - **Active set**: activation is checked once per node per round into a
+//!   bitmap (with `local_round` cached alongside), not per phase and per
+//!   neighbor. Activation is monotone, so once every node is awake the
+//!   bitmap is complete forever and the per-round recomputation stops.
+//! - **Zero-copy scan**: once all nodes are active, every neighbor is
+//!   visible and the CSR neighbor slice is passed straight into [`Scan`]
+//!   instead of being filtered into a scratch buffer; tag gathering is
+//!   skipped entirely when `tag_bits == 0`.
+//! - **Proposal arena**: incoming proposals are laid out as CSR-style
+//!   spans over one flat buffer (rebuilt each round from the `touched`
+//!   list), so proposal resolution is cache-linear with no per-receiver
+//!   vectors.
+//!
+//! # The RNG stream is part of the public contract
+//!
+//! An execution is a pure function of `(seed, config)`, and every recorded
+//! `results/*.csv` depends on the *exact order and count* of RNG draws the
+//! engine makes: per-node draws in ascending node id within each phase,
+//! loss coins only when loss is enabled (one per proposal, in proposer
+//! order), acceptance draws per touched receiver in first-proposal order.
+//! Any optimization must preserve that stream bit-for-bit — see the
+//! trace-equivalence suite (`tests/trace_equivalence.rs`), which pins this
+//! executor against a straight-line reference implementation, and
+//! [`crate::audit::determinism_self_check`].
 
 use mtm_graph::{DynamicTopology, NodeId};
 use rand::rngs::SmallRng;
@@ -128,11 +156,32 @@ pub struct Engine<P: Protocol, T: DynamicTopology> {
     // Workhorse buffers (reused every round).
     tags: Vec<Tag>,
     slots: Vec<Slot>,
-    incoming: Vec<Vec<NodeId>>,
     touched: Vec<NodeId>,
     accepted: Vec<(NodeId, NodeId)>,
     visible: Vec<NodeId>,
     visible_tags: Vec<Tag>,
+    // Per-round active set: `active[u]` and `local_rounds[u]` are valid for
+    // the round being executed; once `all_active` latches true they stop
+    // being recomputed (activation is monotone).
+    active: Vec<bool>,
+    local_rounds: Vec<u64>,
+    all_active: bool,
+    active_count: u64,
+    // Flat proposal arena: the scan phase appends every (proposer,
+    // receiver) pair to `proposed`; survivors are collected as (receiver,
+    // proposer) pairs in proposer order, then scattered into `arena` as one
+    // CSR span per touched receiver (`incoming_start`/`incoming_len`).
+    proposed: Vec<(NodeId, NodeId)>,
+    proposal_pairs: Vec<(NodeId, NodeId)>,
+    arena: Vec<NodeId>,
+    incoming_start: Vec<u32>,
+    incoming_len: Vec<u32>,
+    // Scratch for selection-permutation acceptance (never aliases the
+    // scan-phase `visible` buffer).
+    accept_scratch: Vec<NodeId>,
+    // Per-node fingerprint cache for the stuck detector (empty until the
+    // first detector update; thereafter only active nodes are re-hashed).
+    fp_cache: Vec<u64>,
     #[cfg(feature = "audit")]
     auditor: crate::audit::Auditor,
 }
@@ -172,11 +221,21 @@ impl<P: Protocol, T: DynamicTopology> Engine<P, T> {
             loss_rng: mtm_graph::rng::stream_rng(seed, u64::MAX),
             tags: vec![Tag::EMPTY; n],
             slots: vec![Slot::Inactive; n],
-            incoming: vec![Vec::new(); n],
             touched: Vec::new(),
             accepted: Vec::new(),
             visible: Vec::new(),
             visible_tags: Vec::new(),
+            active: vec![false; n],
+            local_rounds: vec![0; n],
+            all_active: false,
+            active_count: 0,
+            proposed: Vec::new(),
+            proposal_pairs: Vec::new(),
+            arena: Vec::new(),
+            incoming_start: vec![0; n],
+            incoming_len: vec![0; n],
+            accept_scratch: Vec::new(),
+            fp_cache: Vec::new(),
             #[cfg(feature = "audit")]
             auditor: crate::audit::Auditor::default(),
         }
@@ -344,155 +403,245 @@ impl<P: Protocol, T: DynamicTopology> Engine<P, T> {
         let graph = self.topology.graph_at(round);
         assert_eq!(graph.node_count(), n, "topology changed node count");
 
-        let mut active_count = 0u64;
         let round_proposals_before = self.metrics.proposals;
         let round_connections_before = self.metrics.connections;
 
-        // Phase 1: advertise.
-        for u in 0..n {
-            if !self.schedule.is_active(u, round) {
-                self.slots[u] = Slot::Inactive;
-                continue;
+        // Active-set precompute: one schedule check per node per round,
+        // with `local_round` cached alongside. Activation is monotone, so
+        // once everyone is awake the bitmap is complete forever and the
+        // steady state only bumps the cached local rounds.
+        if self.all_active {
+            for lr in &mut self.local_rounds {
+                *lr += 1;
             }
-            active_count += 1;
-            let local = self.schedule.local_round(u, round);
-            let tag = self.nodes[u].advertise(local, &mut self.rngs[u]);
-            #[cfg(feature = "audit")]
-            self.auditor.check_tag(round, u, tag, self.params.tag_bits);
-            #[cfg(not(feature = "audit"))]
-            assert!(
-                tag.fits(self.params.tag_bits),
-                "node {u} advertised tag {tag:?} exceeding b = {} bits",
-                self.params.tag_bits
-            );
-            self.tags[u] = tag;
+        } else {
+            self.active_count = 0;
+            for u in 0..n {
+                if self.schedule.is_active(u, round) {
+                    self.active[u] = true;
+                    self.active_count += 1;
+                    self.local_rounds[u] = self.schedule.local_round(u, round);
+                } else {
+                    self.active[u] = false;
+                }
+            }
+            self.all_active = self.active_count == n as u64;
         }
 
-        // Phases 2-3: scan and act.
-        for u in 0..n {
-            if !self.schedule.is_active(u, round) {
+        // Phase 1: advertise. The lockstep zip lets the per-node loop run
+        // without bounds checks on any of the parallel arrays.
+        let tag_bits = self.params.tag_bits;
+        for (_u, (((((slot, &active), &lr), node), rng), tag_slot)) in self
+            .slots
+            .iter_mut()
+            .zip(&self.active)
+            .zip(&self.local_rounds)
+            .zip(&mut self.nodes)
+            .zip(&mut self.rngs)
+            .zip(&mut self.tags)
+            .enumerate()
+        {
+            if !active {
+                *slot = Slot::Inactive;
                 continue;
             }
-            self.visible.clear();
-            self.visible_tags.clear();
-            for &v in graph.neighbors(u as NodeId) {
-                if self.schedule.is_active(v as usize, round) {
-                    self.visible.push(v);
-                    if self.params.tag_bits > 0 {
+            let tag = node.advertise(lr, rng);
+            #[cfg(feature = "audit")]
+            self.auditor.check_tag(round, _u, tag, tag_bits);
+            #[cfg(not(feature = "audit"))]
+            assert!(
+                tag.fits(tag_bits),
+                "node {_u} advertised tag {tag:?} exceeding b = {tag_bits} bits"
+            );
+            *tag_slot = tag;
+        }
+
+        // Phases 2-3: scan and act. With everyone active the CSR neighbor
+        // slice *is* the scan (zero-copy); during activation ramp-up the
+        // visible subset is filtered into scratch. Both slices are sorted,
+        // which the proposal audit below relies on.
+        let all_active = self.all_active;
+        for (u, (((((slot, &active), &lr), node), rng), nbrs)) in self
+            .slots
+            .iter_mut()
+            .zip(&self.active)
+            .zip(&self.local_rounds)
+            .zip(&mut self.nodes)
+            .zip(&mut self.rngs)
+            .zip(graph.neighbor_rows())
+            .enumerate()
+        {
+            if !active {
+                continue;
+            }
+            let neighbors: &[NodeId] = if all_active {
+                if tag_bits > 0 {
+                    self.visible_tags.clear();
+                    for &v in nbrs {
                         self.visible_tags.push(self.tags[v as usize]);
                     }
                 }
-            }
-            let local = self.schedule.local_round(u, round);
-            let scan = Scan {
-                neighbors: &self.visible,
-                tags: &self.visible_tags,
-                round,
-                local_round: local,
+                nbrs
+            } else {
+                self.visible.clear();
+                self.visible_tags.clear();
+                for &v in nbrs {
+                    if self.active[v as usize] {
+                        self.visible.push(v);
+                        if tag_bits > 0 {
+                            self.visible_tags.push(self.tags[v as usize]);
+                        }
+                    }
+                }
+                &self.visible
             };
-            let action = self.nodes[u].act(&scan, &mut self.rngs[u]);
-            self.slots[u] = match action {
+            let scan = Scan { neighbors, tags: &self.visible_tags, round, local_round: lr };
+            *slot = match node.act(&scan, rng) {
                 Action::Listen => Slot::Listen,
                 Action::Propose(v) => {
                     #[cfg(feature = "audit")]
-                    self.auditor.check_proposal(round, u, v, &self.visible);
+                    self.auditor.check_proposal(round, u, v, scan.neighbors);
                     #[cfg(not(feature = "audit"))]
                     assert!(
-                        self.visible.binary_search(&v).is_ok(),
+                        scan.neighbors.binary_search(&v).is_ok(),
                         "node {u} proposed to {v}, not a visible neighbor"
                     );
+                    self.proposed.push((u as NodeId, v));
                     Slot::Propose(v)
                 }
             };
         }
 
-        // Phase 4: proposal resolution and payload exchange.
-        debug_assert!(self.touched.is_empty());
-        for u in 0..n {
-            if let Slot::Propose(v) = self.slots[u] {
-                self.metrics.proposals += 1;
-                if self.loss_prob > 0.0 && self.loss_rng.gen_bool(self.loss_prob) {
-                    self.metrics.dropped_proposals += 1;
-                    continue;
-                }
-                if self.slots[v as usize] == Slot::Listen {
-                    if self.incoming[v as usize].is_empty() {
-                        self.touched.push(v);
-                    }
-                    self.incoming[v as usize].push(u as NodeId);
-                } else {
-                    // Receiver proposed itself (or a race with inactivity):
-                    // the proposal is lost.
-                    self.metrics.rejected_proposals += 1;
-                }
-            }
+        // Phase 4: collect surviving proposals (loss coins drawn in
+        // proposer order, only when loss is enabled), then lay them out as
+        // one CSR span per touched receiver in the flat arena.
+        debug_assert!(self.touched.is_empty() && self.proposal_pairs.is_empty());
+        self.metrics.proposals += self.proposed.len() as u64;
+        if self.loss_prob > 0.0 {
+            Self::collect_proposals::<true>(
+                &self.slots,
+                &self.proposed,
+                self.loss_prob,
+                &mut self.loss_rng,
+                &mut self.metrics,
+                &mut self.touched,
+                &mut self.incoming_len,
+                &mut self.proposal_pairs,
+            );
+        } else {
+            Self::collect_proposals::<false>(
+                &self.slots,
+                &self.proposed,
+                self.loss_prob,
+                &mut self.loss_rng,
+                &mut self.metrics,
+                &mut self.touched,
+                &mut self.incoming_len,
+                &mut self.proposal_pairs,
+            );
         }
+        self.proposed.clear();
+        // Every arena position below the pair count is overwritten by the
+        // scatter, so the buffer only ever grows — no per-round zeroing.
+        if self.arena.len() < self.proposal_pairs.len() {
+            self.arena.resize(self.proposal_pairs.len(), 0);
+        }
+        let mut cursor = 0u32;
+        for &v in &self.touched {
+            self.incoming_start[v as usize] = cursor;
+            cursor += self.incoming_len[v as usize];
+        }
+        // Scatter; pairs are in ascending proposer order, so each span
+        // stays proposer-sorted. Afterwards `incoming_start[v]` points one
+        // past the span's end.
+        for &(v, u) in &self.proposal_pairs {
+            let c = self.incoming_start[v as usize];
+            self.arena[c as usize] = u;
+            self.incoming_start[v as usize] = c + 1;
+        }
+
         // Phase 4a: decide which proposals are accepted (may need the
         // round graph for the selection-permutation device), then
         // Phase 4b: perform the payload exchanges.
         debug_assert!(self.accepted.is_empty());
-        for ti in 0..self.touched.len() {
-            let v = self.touched[ti] as usize;
+        let touched = std::mem::take(&mut self.touched);
+        for &v in &touched {
+            let vi = v as usize;
+            let end = self.incoming_start[vi] as usize;
+            let k = self.incoming_len[vi] as usize;
+            let incoming = &self.arena[end - k..end];
             match self.params.policy {
                 ConnectionPolicy::SingleUniform => {
-                    let k = self.incoming[v].len();
                     let u = match self.params.acceptance {
                         Acceptance::UniformIndex => {
-                            let pick = if k == 1 { 0 } else { self.rngs[v].gen_range(0..k) };
-                            self.incoming[v][pick]
+                            let pick = if k == 1 { 0 } else { self.rngs[vi].gen_range(0..k) };
+                            incoming[pick]
                         }
                         Acceptance::SelectionPermutation => {
-                            // Definition VI.2's device: shuffle the full
+                            // Definition VI.2's device: shuffle the
                             // neighbor list, accept the proposer ranked
                             // first. Distributionally identical to the
-                            // uniform-index choice.
-                            self.visible.clear();
-                            self.visible.extend_from_slice(graph.neighbors(v as NodeId));
-                            self.visible.shuffle(&mut self.rngs[v]);
+                            // uniform-index choice. Inactive neighbors can
+                            // never propose, so only active ones enter the
+                            // shuffle (a subset's relative order within a
+                            // uniform permutation is itself uniform).
+                            self.accept_scratch.clear();
+                            if self.all_active {
+                                self.accept_scratch.extend_from_slice(graph.neighbors(v));
+                            } else {
+                                self.accept_scratch.extend(
+                                    graph
+                                        .neighbors(v)
+                                        .iter()
+                                        .copied()
+                                        .filter(|&w| self.active[w as usize]),
+                                );
+                            }
+                            self.accept_scratch.shuffle(&mut self.rngs[vi]);
                             *self
-                                .visible
+                                .accept_scratch
                                 .iter()
-                                .find(|cand| self.incoming[v].contains(cand))
+                                .find(|cand| incoming.contains(cand))
                                 .expect("every proposer is a neighbor")
                         }
                     };
                     self.metrics.rejected_proposals += (k - 1) as u64;
-                    self.accepted.push((u, v as NodeId));
+                    self.accepted.push((u, v));
                 }
                 ConnectionPolicy::AcceptAll => {
                     // Deliver in ascending proposer order; each proposer
                     // sees the receiver's state as of *its* connection
                     // (connections in the classical model are sequential
                     // interactions within the round).
-                    for pi in 0..self.incoming[v].len() {
-                        let u = self.incoming[v][pi];
-                        self.accepted.push((u, v as NodeId));
+                    for &u in incoming {
+                        self.accepted.push((u, v));
                     }
                 }
             }
-            self.incoming[v].clear();
+            self.incoming_len[vi] = 0;
         }
+        self.touched = touched;
         self.touched.clear();
+        self.proposal_pairs.clear();
         #[cfg(feature = "audit")]
         if self.params.policy == ConnectionPolicy::SingleUniform {
             // Section III: each node participates in at most one
             // connection per round — the accepted set is a matching.
             self.auditor.check_matching(round, &self.accepted);
         }
-        for ai in 0..self.accepted.len() {
-            let (u, v) = self.accepted[ai];
-            if let Some(log) = &mut self.connection_log {
-                log.push((round, u, v));
-            }
-            self.connect(u as usize, v as usize);
+        if self.connection_log.is_some() {
+            self.deliver_accepted::<true>(round);
+        } else {
+            self.deliver_accepted::<false>(round);
         }
         self.accepted.clear();
 
         // Phase 5: end of round.
-        for u in 0..n {
-            if self.schedule.is_active(u, round) {
-                let local = self.schedule.local_round(u, round);
-                self.nodes[u].end_round(local, &mut self.rngs[u]);
+        for (((&active, &lr), node), rng) in
+            self.active.iter().zip(&self.local_rounds).zip(&mut self.nodes).zip(&mut self.rngs)
+        {
+            if active {
+                node.end_round(lr, rng);
             }
         }
 
@@ -500,7 +649,7 @@ impl<P: Protocol, T: DynamicTopology> Engine<P, T> {
         if let Some(traces) = &mut self.traces {
             traces.push(RoundTrace {
                 round,
-                active: active_count,
+                active: self.active_count,
                 proposals: self.metrics.proposals - round_proposals_before,
                 connections: self.metrics.connections - round_connections_before,
             });
@@ -510,11 +659,90 @@ impl<P: Protocol, T: DynamicTopology> Engine<P, T> {
         }
     }
 
+    /// Phase-4 proposal collection over the scan phase's `proposed` list
+    /// (already in ascending proposer order), monomorphized over loss
+    /// injection so the loss-free common case carries no per-proposal
+    /// branch or RNG call. `LOSSY` must equal `loss_prob > 0.0`: the loss
+    /// stream advances exactly once per proposal when loss is enabled and
+    /// never otherwise (part of the RNG contract). Takes fields rather
+    /// than `&mut self` because the caller still holds the round graph
+    /// borrow. The caller accounts `metrics.proposals`.
+    #[allow(clippy::too_many_arguments)]
+    fn collect_proposals<const LOSSY: bool>(
+        slots: &[Slot],
+        proposed: &[(NodeId, NodeId)],
+        loss_prob: f64,
+        loss_rng: &mut SmallRng,
+        metrics: &mut Metrics,
+        touched: &mut Vec<NodeId>,
+        incoming_len: &mut [u32],
+        proposal_pairs: &mut Vec<(NodeId, NodeId)>,
+    ) {
+        for &(u, v) in proposed {
+            if LOSSY && loss_rng.gen_bool(loss_prob) {
+                metrics.dropped_proposals += 1;
+                continue;
+            }
+            let vi = v as usize;
+            if slots[vi] == Slot::Listen {
+                if incoming_len[vi] == 0 {
+                    touched.push(v);
+                }
+                incoming_len[vi] += 1;
+                proposal_pairs.push((v, u));
+            } else {
+                // Receiver proposed itself (or a race with inactivity):
+                // the proposal is lost.
+                metrics.rejected_proposals += 1;
+            }
+        }
+    }
+
+    /// Phase-4b delivery, monomorphized over connection logging so the
+    /// common no-log case carries no per-connection `Option` check.
+    fn deliver_accepted<const LOG: bool>(&mut self, round: u64) {
+        let accepted = std::mem::take(&mut self.accepted);
+        for &(u, v) in &accepted {
+            if LOG {
+                self.connection_log
+                    .as_mut()
+                    .expect("LOG is true only when the log is enabled")
+                    .push((round, u, v));
+            }
+            self.connect(u as usize, v as usize);
+        }
+        self.accepted = accepted;
+    }
+
     /// Advance the stuck-run detector after a completed round.
+    ///
+    /// Node fingerprints are cached per node: only active nodes run any
+    /// phase, so inactive entries cannot have changed and are not
+    /// re-hashed. The fold over the cache stays in node order, matching
+    /// [`Engine::network_fingerprint`] exactly.
     fn update_stuck_detector(&mut self, topo_may_change: bool) {
-        let fp = self
-            .network_fingerprint()
-            .expect("fingerprint support is constant and was checked at enable time");
+        let n = self.nodes.len();
+        if self.fp_cache.len() != n {
+            self.fp_cache.clear();
+            for node in &self.nodes {
+                self.fp_cache.push(
+                    node.state_fingerprint()
+                        .expect("fingerprint support is constant and was checked at enable time"),
+                );
+            }
+        } else {
+            for u in 0..n {
+                if self.active[u] {
+                    self.fp_cache[u] = self.nodes[u]
+                        .state_fingerprint()
+                        .expect("fingerprint support is constant and was checked at enable time");
+                }
+            }
+        }
+        let mut fp = crate::fingerprint::SEED;
+        for &f in &self.fp_cache {
+            fp = crate::fingerprint::mix(fp, f);
+        }
         let round = self.round;
         // Frozen state is only evidence of a fixed point while the world
         // holds still: pending activations or a topology change window can

@@ -20,12 +20,14 @@
 //! | F6 | related work — mobile vs classical model gap | [`exp_f6`] |
 //! | F7 | convergence trajectories per algorithm | [`exp_f7`] |
 //! | F8 | fault injection — crash churn × message loss | [`exp_f8`] |
+//! | F9 | scaling — slopes at 10⁵–10⁶ nodes on expanders | [`exp_f9`] |
 //!
 //! Every experiment is a pure function of [`opts::ExpOpts`] (trials, seed,
 //! scale), prints an aligned table, and can emit CSV for EXPERIMENTS.md.
 
 pub mod harness;
 pub mod opts;
+pub mod perf;
 
 pub mod exp_a1;
 pub mod exp_a2;
@@ -38,6 +40,7 @@ pub mod exp_f5;
 pub mod exp_f6;
 pub mod exp_f7;
 pub mod exp_f8;
+pub mod exp_f9;
 pub mod exp_t1;
 pub mod exp_t2;
 pub mod exp_t3;
@@ -65,6 +68,7 @@ pub fn run_by_id(id: &str, opts: &ExpOpts) -> Option<mtm_analysis::table::Table>
         "f6" => Some(exp_f6::run(opts)),
         "f7" => Some(exp_f7::run(opts)),
         "f8" => Some(exp_f8::run(opts)),
+        "f9" => Some(exp_f9::run(opts)),
         "a1" => Some(exp_a1::run(opts)),
         "a2" => Some(exp_a2::run(opts)),
         "a3" => Some(exp_a3::run(opts)),
@@ -73,7 +77,7 @@ pub fn run_by_id(id: &str, opts: &ExpOpts) -> Option<mtm_analysis::table::Table>
 }
 
 /// Experiment ids in presentation order (paper claims T*/F*, ablations A*).
-pub const ALL_IDS: [&str; 17] = [
-    "t1", "f1", "t2", "f2", "t3", "f3", "t4", "f4", "t5", "f5", "t6", "f6", "f7", "f8", "a1", "a2",
-    "a3",
+pub const ALL_IDS: [&str; 18] = [
+    "t1", "f1", "t2", "f2", "t3", "f3", "t4", "f4", "t5", "f5", "t6", "f6", "f7", "f8", "f9", "a1",
+    "a2", "a3",
 ];

@@ -1,0 +1,71 @@
+//! Wall-clock and memory measurement helpers for throughput reporting.
+//!
+//! The simulation crates (`core`, `engine`, `apps`) are forbidden from
+//! touching wall clocks by the determinism lint; measurement lives here, in
+//! the experiment layer, where timing is the point (F9's scaling table and
+//! the `mtm-bench` throughput harness both report wall seconds and peak
+//! RSS per cell). None of this feeds back into simulation state.
+
+use std::time::Instant;
+
+/// A started wall-clock timer.
+pub struct Stopwatch(Instant);
+
+impl Stopwatch {
+    /// Start timing now.
+    // Wall-clock use is sanctioned in the experiment layer (measurement
+    // only, never simulation input).
+    #[allow(clippy::disallowed_methods)]
+    pub fn start() -> Stopwatch {
+        Stopwatch(Instant::now())
+    }
+
+    /// Seconds elapsed since [`Stopwatch::start`].
+    pub fn elapsed_secs(&self) -> f64 {
+        self.0.elapsed().as_secs_f64()
+    }
+}
+
+/// Peak resident set size of this process in bytes (`VmHWM` from
+/// `/proc/self/status`). `None` off Linux or if the field is missing.
+///
+/// The value is a process-wide high-water mark: it is monotone over the
+/// process lifetime, so per-cell readings in a multi-cell run report the
+/// peak *up to and including* that cell.
+pub fn peak_rss_bytes() -> Option<u64> {
+    #[cfg(target_os = "linux")]
+    {
+        let status = std::fs::read_to_string("/proc/self/status").ok()?;
+        for line in status.lines() {
+            if let Some(rest) = line.strip_prefix("VmHWM:") {
+                let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+                return Some(kb * 1024);
+            }
+        }
+        None
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stopwatch_moves_forward() {
+        let sw = Stopwatch::start();
+        let a = sw.elapsed_secs();
+        let b = sw.elapsed_secs();
+        assert!(a >= 0.0 && b >= a);
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn peak_rss_is_positive_on_linux() {
+        let rss = peak_rss_bytes().expect("VmHWM available on Linux");
+        assert!(rss > 0);
+    }
+}

@@ -49,6 +49,14 @@ impl Graph {
         self.neighbors(u).len()
     }
 
+    /// Iterator over all neighbor slices `N(0), N(1), …` in node order —
+    /// the bounds-check-free way to walk the CSR in lockstep with other
+    /// per-node arrays (the round executor's scan phase).
+    #[inline]
+    pub fn neighbor_rows(&self) -> impl Iterator<Item = &[NodeId]> + '_ {
+        self.offsets.windows(2).map(|w| &self.adjacency[w[0] as usize..w[1] as usize])
+    }
+
     /// Maximum degree `Δ` over all nodes (0 for an empty or edgeless graph).
     pub fn max_degree(&self) -> usize {
         (0..self.node_count() as u32).map(|u| self.degree(u)).max().unwrap_or(0)

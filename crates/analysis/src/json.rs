@@ -1,9 +1,11 @@
 //! Minimal JSON value, parser, and renderer.
 //!
-//! The offline build has no serde, so the throughput harness round-trips
-//! `BENCH_engine.json` through this hand-rolled module (same approach as
-//! `mtm-lint`'s report writer). Objects preserve insertion order via a
-//! `Vec<(String, Value)>` — no hash maps, so rendering is deterministic.
+//! The offline build has no serde, so JSON documents round-trip through
+//! this hand-rolled module (same approach as `mtm-lint`'s report writer):
+//! the bench harness's `BENCH_engine.json` and the results provenance
+//! manifest `results/MANIFEST.json` both use it. Objects preserve
+//! insertion order via a `Vec<(String, Value)>` — no hash maps, so
+//! rendering is deterministic.
 
 use std::fmt::Write as _;
 

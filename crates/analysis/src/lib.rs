@@ -6,9 +6,13 @@
 //! * [`compare`] — histograms, bootstrap confidence intervals, and the
 //!   Mann-Whitney U test for "A reliably beats B" claims.
 //! * [`table`] — aligned-text and CSV table rendering.
+//! * [`json`] — minimal JSON value, parser, and renderer (the offline
+//!   build has no serde; shared by the bench harness and the results
+//!   provenance manifest).
 
 pub mod compare;
 pub mod fit;
+pub mod json;
 pub mod stats;
 pub mod table;
 

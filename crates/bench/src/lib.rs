@@ -14,7 +14,7 @@
 use mtm_experiments::ExpOpts;
 
 pub mod harness;
-pub mod json;
+pub use mtm_analysis::json;
 pub mod throughput;
 
 /// Quick-scale single-trial options used by every experiment benchmark.

@@ -81,16 +81,28 @@ fn cmd_experiment(args: &[String]) -> i32 {
         }
     };
     if id == "all" {
-        for id in mtm_experiments::ALL_IDS {
-            let table = mtm_experiments::run_by_id(id, &opts).expect("known id");
-            opts.emit(&id.to_uppercase(), "", &table);
+        for exp in mtm_experiments::registry::REGISTRY.iter() {
+            // Each table needs its own CSV path, or every emission would
+            // overwrite the previous one.
+            let per_table = opts.with_csv_for(exp.id);
+            let table = (exp.run)(&per_table);
+            if let Err(e) = per_table.emit(&exp.display_id(), exp.title, &table) {
+                eprintln!("error: {e}");
+                return 1;
+            }
         }
         return 0;
     }
-    match mtm_experiments::run_by_id(id, &opts) {
-        Some(table) => {
-            opts.emit(&id.to_uppercase(), "", &table);
-            0
+    match mtm_experiments::registry::find(id) {
+        Some(exp) => {
+            let table = (exp.run)(&opts);
+            match opts.emit(&exp.display_id(), exp.title, &table) {
+                Ok(()) => 0,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    1
+                }
+            }
         }
         None => {
             eprintln!(

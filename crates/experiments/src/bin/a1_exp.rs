@@ -1,7 +1,6 @@
-//! Harness binary for experiment A1: Ablation — ID tag length multiplier beta.
+//! Harness binary for experiment A1 (title and runner resolved through
+//! the experiment registry).
 
 fn main() {
-    let opts = mtm_experiments::ExpOpts::from_env();
-    let table = mtm_experiments::exp_a1::run(&opts);
-    opts.emit("A1", "Ablation — ID tag length multiplier beta", &table);
+    mtm_experiments::registry::run_binary("a1");
 }

@@ -1,7 +1,6 @@
-//! Harness binary for experiment A2: Ablation — group length multiplier.
+//! Harness binary for experiment A2 (title and runner resolved through
+//! the experiment registry).
 
 fn main() {
-    let opts = mtm_experiments::ExpOpts::from_env();
-    let table = mtm_experiments::exp_a2::run(&opts);
-    opts.emit("A2", "Ablation — group length multiplier", &table);
+    mtm_experiments::registry::run_binary("a2");
 }

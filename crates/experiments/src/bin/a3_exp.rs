@@ -1,7 +1,6 @@
-//! Harness binary for experiment A3: Ablation — PUSH-PULL vs PUSH-only vs PULL-only.
+//! Harness binary for experiment A3 (title and runner resolved through
+//! the experiment registry).
 
 fn main() {
-    let opts = mtm_experiments::ExpOpts::from_env();
-    let table = mtm_experiments::exp_a3::run(&opts);
-    opts.emit("A3", "Ablation — PUSH-PULL vs PUSH-only vs PULL-only", &table);
+    mtm_experiments::registry::run_binary("a3");
 }

@@ -1,7 +1,6 @@
-//! Harness binary for experiment F1: Sec VI — Omega(D^2/sqrt(a)) lower bound on the line of stars.
+//! Harness binary for experiment F1 (title and runner resolved through
+//! the experiment registry).
 
 fn main() {
-    let opts = mtm_experiments::ExpOpts::from_env();
-    let table = mtm_experiments::exp_f1::run(&opts);
-    opts.emit("F1", "Sec VI — Omega(D^2/sqrt(a)) lower bound on the line of stars", &table);
+    mtm_experiments::registry::run_binary("f1");
 }

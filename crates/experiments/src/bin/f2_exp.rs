@@ -1,7 +1,6 @@
-//! Harness binary for experiment F2: Theorem VII.2 — tau sweep, bit convergence vs blind gossip.
+//! Harness binary for experiment F2 (title and runner resolved through
+//! the experiment registry).
 
 fn main() {
-    let opts = mtm_experiments::ExpOpts::from_env();
-    let table = mtm_experiments::exp_f2::run(&opts);
-    opts.emit("F2", "Theorem VII.2 — tau sweep, bit convergence vs blind gossip", &table);
+    mtm_experiments::registry::run_binary("f2");
 }

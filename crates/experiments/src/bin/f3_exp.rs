@@ -1,7 +1,6 @@
-//! Harness binary for experiment F3: Sec VI vs VII — b=0 vs b=1 separation.
+//! Harness binary for experiment F3 (title and runner resolved through
+//! the experiment registry).
 
 fn main() {
-    let opts = mtm_experiments::ExpOpts::from_env();
-    let table = mtm_experiments::exp_f3::run(&opts);
-    opts.emit("F3", "Sec VI vs VII — b=0 vs b=1 separation", &table);
+    mtm_experiments::registry::run_binary("f3");
 }

@@ -1,7 +1,6 @@
-//! Harness binary for experiment F4: Sec VIII — self-stabilization on component joins.
+//! Harness binary for experiment F4 (title and runner resolved through
+//! the experiment registry).
 
 fn main() {
-    let opts = mtm_experiments::ExpOpts::from_env();
-    let table = mtm_experiments::exp_f4::run(&opts);
-    opts.emit("F4", "Sec VIII — self-stabilization on component joins", &table);
+    mtm_experiments::registry::run_binary("f4");
 }

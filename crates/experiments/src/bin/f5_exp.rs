@@ -1,7 +1,6 @@
-//! Harness binary for experiment F5: Theorem V.2 — PPUSH matching approximation m/f(r).
+//! Harness binary for experiment F5 (title and runner resolved through
+//! the experiment registry).
 
 fn main() {
-    let opts = mtm_experiments::ExpOpts::from_env();
-    let table = mtm_experiments::exp_f5::run(&opts);
-    opts.emit("F5", "Theorem V.2 — PPUSH matching approximation m/f(r)", &table);
+    mtm_experiments::registry::run_binary("f5");
 }

@@ -1,7 +1,6 @@
-//! Harness binary for experiment F6: Related work — mobile vs classical telephone model gap.
+//! Harness binary for experiment F6 (title and runner resolved through
+//! the experiment registry).
 
 fn main() {
-    let opts = mtm_experiments::ExpOpts::from_env();
-    let table = mtm_experiments::exp_f6::run(&opts);
-    opts.emit("F6", "Related work — mobile vs classical telephone model gap", &table);
+    mtm_experiments::registry::run_binary("f6");
 }

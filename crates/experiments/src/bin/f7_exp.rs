@@ -1,8 +1,6 @@
-//! Harness binary for experiment F7: convergence trajectories for the
-//! three leader election algorithms.
+//! Harness binary for experiment F7 (title and runner resolved through
+//! the experiment registry).
 
 fn main() {
-    let opts = mtm_experiments::ExpOpts::from_env();
-    let table = mtm_experiments::exp_f7::run(&opts);
-    opts.emit("F7", "Convergence trajectories (fraction agreeing on the winner)", &table);
+    mtm_experiments::registry::run_binary("f7");
 }

@@ -1,8 +1,6 @@
-//! Harness binary for experiment F8: stabilization time under crash
-//! churn and message loss.
+//! Harness binary for experiment F8 (title and runner resolved through
+//! the experiment registry).
 
 fn main() {
-    let opts = mtm_experiments::ExpOpts::from_env();
-    let table = mtm_experiments::exp_f8::run(&opts);
-    opts.emit("F8", "Fault injection: crash churn x message loss vs stabilization", &table);
+    mtm_experiments::registry::run_binary("f8");
 }

@@ -1,8 +1,6 @@
-//! Harness binary for experiment F9: million-node scaling of blind gossip
-//! and bit convergence on 8-regular expanders.
+//! Harness binary for experiment F9 (title and runner resolved through
+//! the experiment registry).
 
 fn main() {
-    let opts = mtm_experiments::ExpOpts::from_env();
-    let table = mtm_experiments::exp_f9::run(&opts);
-    opts.emit("F9", "Scaling: slopes at 10^5-10^6 nodes on 8-regular expanders", &table);
+    mtm_experiments::registry::run_binary("f9");
 }

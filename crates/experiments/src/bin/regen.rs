@@ -1,0 +1,175 @@
+//! Regenerate result tables with provenance, or verify them.
+//!
+//! ```text
+//! regen --all                  # regenerate every table + MANIFEST.json
+//! regen --only t4,f3           # regenerate a subset (manifest merges)
+//! regen --check                # recompute file digests vs MANIFEST.json
+//! regen --check --quick        # + re-run quick-scale sweeps (executor drift)
+//! ```
+//!
+//! Exit codes: 0 success, 1 check failure / regeneration error, 2 usage.
+
+use std::path::PathBuf;
+
+use mtm_experiments::{manifest, ExpOpts};
+
+struct Args {
+    check: bool,
+    quick: bool,
+    ids: Vec<String>,
+    results_dir: PathBuf,
+    base: ExpOpts,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: regen (--all | --only ID[,ID...] | --check [--quick]) \
+         [--results-dir DIR] [--seed N] [--trials N] [--threads N]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut check = false;
+    let mut quick = false;
+    let mut all = false;
+    let mut only: Option<Vec<String>> = None;
+    let mut results_dir = PathBuf::from("results");
+    let mut base = ExpOpts::default();
+    let mut i = 0;
+    let take = |argv: &[String], i: &mut usize, flag: &str| -> String {
+        *i += 1;
+        match argv.get(*i) {
+            Some(v) => v.clone(),
+            None => {
+                eprintln!("error: {flag} needs a value");
+                usage();
+            }
+        }
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--check" => check = true,
+            "--quick" => quick = true,
+            "--all" => all = true,
+            "--only" => {
+                only = Some(
+                    take(&argv, &mut i, "--only")
+                        .split(',')
+                        .map(|s| s.trim().to_lowercase())
+                        .filter(|s| !s.is_empty())
+                        .collect(),
+                );
+            }
+            "--results-dir" => results_dir = PathBuf::from(take(&argv, &mut i, "--results-dir")),
+            "--seed" => match take(&argv, &mut i, "--seed").parse() {
+                Ok(v) => base.seed = v,
+                Err(e) => {
+                    eprintln!("error: --seed: {e}");
+                    usage();
+                }
+            },
+            "--trials" => match take(&argv, &mut i, "--trials").parse() {
+                Ok(v) => base.trials = v,
+                Err(e) => {
+                    eprintln!("error: --trials: {e}");
+                    usage();
+                }
+            },
+            "--threads" => match take(&argv, &mut i, "--threads").parse() {
+                Ok(v) => base.threads = v,
+                Err(e) => {
+                    eprintln!("error: --threads: {e}");
+                    usage();
+                }
+            },
+            other => {
+                eprintln!("error: unknown flag: {other}");
+                usage();
+            }
+        }
+        i += 1;
+    }
+    let ids: Vec<String> = if check {
+        if all || only.is_some() {
+            eprintln!("error: --check does not combine with --all/--only");
+            usage();
+        }
+        Vec::new()
+    } else if all {
+        if only.is_some() {
+            eprintln!("error: --all and --only are mutually exclusive");
+            usage();
+        }
+        mtm_experiments::ALL_IDS.iter().map(|s| s.to_string()).collect()
+    } else if let Some(ids) = only {
+        for id in &ids {
+            if mtm_experiments::registry::find(id).is_none() {
+                eprintln!("error: unknown experiment id {id:?}");
+                usage();
+            }
+        }
+        if ids.is_empty() {
+            usage();
+        }
+        ids
+    } else {
+        usage();
+    };
+    Args { check, quick, ids, results_dir, base }
+}
+
+fn main() {
+    let args = parse_args();
+
+    if args.check {
+        let m = match manifest::Manifest::load(&args.results_dir) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        };
+        let mut problems = manifest::check_digests(&m, &args.results_dir);
+        if args.quick {
+            eprintln!("regen: re-running quick-scale sweeps for {} tables", m.tables.len());
+            problems.extend(manifest::check_quick(&m, args.base.threads));
+        }
+        if problems.is_empty() {
+            println!(
+                "regen: {} tables verified against {}/{}",
+                m.tables.len(),
+                args.results_dir.display(),
+                manifest::FILE_NAME
+            );
+            std::process::exit(0);
+        }
+        eprintln!("regen: results drift detected ({} problems):", problems.len());
+        for p in &problems {
+            eprintln!("  {p}");
+        }
+        let mut ids: Vec<&str> =
+            problems.iter().filter_map(|p| p.split(&[':', '.'][..]).next()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        eprintln!("regen: offending tables: {}", ids.join(", "));
+        eprintln!("regen: run `regen --only {}` and commit the result", ids.join(","));
+        std::process::exit(1);
+    }
+
+    match manifest::regenerate(&args.ids, &args.results_dir, &args.base) {
+        Ok(m) => {
+            println!(
+                "regen: wrote {} tables + {} ({} entries total)",
+                args.ids.len(),
+                manifest::FILE_NAME,
+                m.tables.len()
+            );
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

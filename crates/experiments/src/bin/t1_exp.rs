@@ -1,7 +1,6 @@
-//! Harness binary for experiment T1: Theorem VI.1 — blind gossip O((1/a)*D^2*log^2 n).
+//! Harness binary for experiment T1 (title and runner resolved through
+//! the experiment registry).
 
 fn main() {
-    let opts = mtm_experiments::ExpOpts::from_env();
-    let table = mtm_experiments::exp_t1::run(&opts);
-    opts.emit("T1", "Theorem VI.1 — blind gossip O((1/a)*D^2*log^2 n)", &table);
+    mtm_experiments::registry::run_binary("t1");
 }

@@ -1,7 +1,6 @@
-//! Harness binary for experiment T2: Corollary VI.6 — PUSH-PULL rumor spreading, b=0.
+//! Harness binary for experiment T2 (title and runner resolved through
+//! the experiment registry).
 
 fn main() {
-    let opts = mtm_experiments::ExpOpts::from_env();
-    let table = mtm_experiments::exp_t2::run(&opts);
-    opts.emit("T2", "Corollary VI.6 — PUSH-PULL rumor spreading, b=0", &table);
+    mtm_experiments::registry::run_binary("t2");
 }

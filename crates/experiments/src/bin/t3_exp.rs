@@ -1,7 +1,6 @@
-//! Harness binary for experiment T3: Theorem VII.2 — polylog rounds for tau >= log D, a = O(1).
+//! Harness binary for experiment T3 (title and runner resolved through
+//! the experiment registry).
 
 fn main() {
-    let opts = mtm_experiments::ExpOpts::from_env();
-    let table = mtm_experiments::exp_t3::run(&opts);
-    opts.emit("T3", "Theorem VII.2 — polylog rounds for tau >= log D, a = O(1)", &table);
+    mtm_experiments::registry::run_binary("t3");
 }

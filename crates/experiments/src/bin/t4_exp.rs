@@ -1,7 +1,6 @@
-//! Harness binary for experiment T4: Theorem VIII.2 — non-synchronized vs synchronized bit convergence.
+//! Harness binary for experiment T4 (title and runner resolved through
+//! the experiment registry).
 
 fn main() {
-    let opts = mtm_experiments::ExpOpts::from_env();
-    let table = mtm_experiments::exp_t4::run(&opts);
-    opts.emit("T4", "Theorem VIII.2 — non-synchronized vs synchronized bit convergence", &table);
+    mtm_experiments::registry::run_binary("t4");
 }

@@ -1,7 +1,6 @@
-//! Harness binary for experiment T5: Lemma V.1 — gamma >= alpha/4.
+//! Harness binary for experiment T5 (title and runner resolved through
+//! the experiment registry).
 
 fn main() {
-    let opts = mtm_experiments::ExpOpts::from_env();
-    let table = mtm_experiments::exp_t5::run(&opts);
-    opts.emit("T5", "Lemma V.1 — gamma >= alpha/4", &table);
+    mtm_experiments::registry::run_binary("t5");
 }

@@ -1,7 +1,6 @@
-//! Harness binary for experiment T6: Sec IX — tag length ablation b in {0, 1, loglog n}.
+//! Harness binary for experiment T6 (title and runner resolved through
+//! the experiment registry).
 
 fn main() {
-    let opts = mtm_experiments::ExpOpts::from_env();
-    let table = mtm_experiments::exp_t6::run(&opts);
-    opts.emit("T6", "Sec IX — tag length ablation b in {0, 1, loglog n}", &table);
+    mtm_experiments::registry::run_binary("t6");
 }

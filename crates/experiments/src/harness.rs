@@ -140,12 +140,21 @@ pub fn bit_convergence_rounds(
 ) -> Vec<Option<u64>> {
     let spec = spec.clone();
     run_trials(trials, base_seed, threads, move |_t, seed| {
-        let topo = spec.build(seed);
+        let mut topo = spec.build(seed);
         let n = topo.node_count();
-        let delta = spec.sample_graph(seed).max_degree();
+        // Δ from the topology already built for this trial (round-1 graphs
+        // are isomorphic to the family instance, so Δ is the sample Δ);
+        // rebuilding the instance via `sample_graph` would double the
+        // construction cost without changing any derived seed stream.
+        let delta = topo.graph_at(1).max_degree();
         let config = TagConfig::for_network(n, delta);
         let uids = UidPool::random(n, derive_seed(seed, 10));
         let nodes = BitConvergence::spawn(&uids, config, derive_seed(seed, 12));
+        let expect = nodes
+            .iter()
+            .map(BitConvergence::active_pair)
+            .min()
+            .expect("network has at least one node");
         let mut e = Engine::new(
             topo,
             ModelParams::mobile(1),
@@ -153,7 +162,11 @@ pub fn bit_convergence_rounds(
             nodes,
             derive_seed(seed, 11),
         );
-        e.run_to_stabilization(max_rounds).stabilized_round
+        let out = e.run_to_stabilization(max_rounds);
+        if let Some(w) = out.winner {
+            assert_eq!(w, expect.uid, "bit convergence must elect the min (tag, uid) pair");
+        }
+        out.stabilized_round
     })
 }
 
@@ -169,12 +182,18 @@ pub fn nonsync_rounds(
 ) -> Vec<Option<u64>> {
     let spec = spec.clone();
     run_trials(trials, base_seed, threads, move |_t, seed| {
-        let topo = spec.build(seed);
+        let mut topo = spec.build(seed);
         let n = topo.node_count();
-        let delta = spec.sample_graph(seed).max_degree();
+        // Δ from the already-built topology; see `bit_convergence_rounds`.
+        let delta = topo.graph_at(1).max_degree();
         let config = TagConfig::for_network(n, delta);
         let uids = UidPool::random(n, derive_seed(seed, 10));
         let nodes = NonSyncBitConvergence::spawn(&uids, config, derive_seed(seed, 12));
+        let expect = nodes
+            .iter()
+            .map(NonSyncBitConvergence::best_pair)
+            .min()
+            .expect("network has at least one node");
         let mut e = Engine::new(
             topo,
             ModelParams::mobile(config.nonsync_tag_bits()),
@@ -182,7 +201,14 @@ pub fn nonsync_rounds(
             nodes,
             derive_seed(seed, 11),
         );
-        e.run_to_stabilization(max_rounds).rounds_after_activation
+        let out = e.run_to_stabilization(max_rounds);
+        if let Some(w) = out.winner {
+            assert_eq!(
+                w, expect.uid,
+                "non-synchronized bit convergence must elect the min (tag, uid) pair"
+            );
+        }
+        out.rounds_after_activation
     })
 }
 

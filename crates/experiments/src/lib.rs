@@ -25,9 +25,12 @@
 //! Every experiment is a pure function of [`opts::ExpOpts`] (trials, seed,
 //! scale), prints an aligned table, and can emit CSV for EXPERIMENTS.md.
 
+pub mod digest;
 pub mod harness;
+pub mod manifest;
 pub mod opts;
 pub mod perf;
+pub mod registry;
 
 pub mod exp_a1;
 pub mod exp_a2;
@@ -51,32 +54,13 @@ pub mod exp_t6;
 pub use harness::{SchedSpec, TopoSpec};
 pub use opts::ExpOpts;
 
-/// All experiment ids with their run functions, for the CLI's `all` mode.
+/// Run one experiment by id (resolved through [`registry::REGISTRY`]).
 pub fn run_by_id(id: &str, opts: &ExpOpts) -> Option<mtm_analysis::table::Table> {
-    match id {
-        "t1" => Some(exp_t1::run(opts)),
-        "f1" => Some(exp_f1::run(opts)),
-        "t2" => Some(exp_t2::run(opts)),
-        "f2" => Some(exp_f2::run(opts)),
-        "t3" => Some(exp_t3::run(opts)),
-        "f3" => Some(exp_f3::run(opts)),
-        "t4" => Some(exp_t4::run(opts)),
-        "f4" => Some(exp_f4::run(opts)),
-        "t5" => Some(exp_t5::run(opts)),
-        "f5" => Some(exp_f5::run(opts)),
-        "t6" => Some(exp_t6::run(opts)),
-        "f6" => Some(exp_f6::run(opts)),
-        "f7" => Some(exp_f7::run(opts)),
-        "f8" => Some(exp_f8::run(opts)),
-        "f9" => Some(exp_f9::run(opts)),
-        "a1" => Some(exp_a1::run(opts)),
-        "a2" => Some(exp_a2::run(opts)),
-        "a3" => Some(exp_a3::run(opts)),
-        _ => None,
-    }
+    registry::find(id).map(|e| (e.run)(opts))
 }
 
 /// Experiment ids in presentation order (paper claims T*/F*, ablations A*).
+/// Kept in lockstep with [`registry::REGISTRY`] by its unit tests.
 pub const ALL_IDS: [&str; 18] = [
     "t1", "f1", "t2", "f2", "t3", "f3", "t4", "f4", "t5", "f5", "t6", "f6", "f7", "f8", "f9", "a1",
     "a2", "a3",

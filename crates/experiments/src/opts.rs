@@ -98,15 +98,43 @@ impl ExpOpts {
         }
     }
 
-    /// Print the table; write CSV if requested.
-    pub fn emit(&self, id: &str, title: &str, table: &mtm_analysis::table::Table) {
+    /// Print the table; write CSV if requested. The `(csv written to …)`
+    /// line is only printed when the write actually succeeded; a failed
+    /// write is returned as an error so binaries can exit nonzero instead
+    /// of misreporting success.
+    pub fn emit(
+        &self,
+        id: &str,
+        title: &str,
+        table: &mtm_analysis::table::Table,
+    ) -> Result<(), String> {
         println!("== {id}: {title} ==");
         println!("{}", table.render());
         if let Some(path) = &self.csv {
             std::fs::write(path, table.to_csv())
-                .unwrap_or_else(|e| eprintln!("warning: failed to write {path}: {e}"));
+                .map_err(|e| format!("failed to write {path}: {e}"))?;
             println!("(csv written to {path})");
         }
+        Ok(())
+    }
+
+    /// A copy of these options whose CSV path is made unique to `id` by
+    /// inserting `-<id>` before the extension (`out.csv` → `out-t1.csv`).
+    /// Multi-table emitters (the CLI's `experiment all` mode) must use
+    /// this so each table gets its own file instead of every table
+    /// clobbering the same path.
+    pub fn with_csv_for(&self, id: &str) -> ExpOpts {
+        let mut opts = self.clone();
+        opts.csv = self.csv.as_ref().map(|path| {
+            let id = id.to_lowercase();
+            match path.rsplit_once('.') {
+                // Only treat the suffix as an extension if it looks like
+                // one (no path separator after the dot).
+                Some((stem, ext)) if !ext.contains('/') => format!("{stem}-{id}.{ext}"),
+                _ => format!("{path}-{id}"),
+            }
+        });
+        opts
     }
 }
 
@@ -146,6 +174,38 @@ mod tests {
         assert!(ExpOpts::parse(&s(&["--bogus"])).is_err());
         assert!(ExpOpts::parse(&s(&["--trials"])).is_err());
         assert!(ExpOpts::parse(&s(&["--trials", "abc"])).is_err());
+    }
+
+    #[test]
+    fn emit_reports_csv_write_failure() {
+        let mut t = mtm_analysis::table::Table::new(vec!["x"]);
+        t.push_row(vec!["1"]);
+        let mut o = ExpOpts {
+            csv: Some("/nonexistent-dir/deep/table.csv".to_string()),
+            ..ExpOpts::default()
+        };
+        let err = o.emit("T0", "emit failure propagates", &t).expect_err("write must fail");
+        assert!(err.contains("/nonexistent-dir/deep/table.csv"), "error names the path: {err}");
+        o.csv = None;
+        o.emit("T0", "no csv requested", &t).expect("plain emit succeeds");
+    }
+
+    #[test]
+    fn with_csv_for_derives_per_table_paths() {
+        let mut o = ExpOpts { csv: Some("results/all.csv".to_string()), ..ExpOpts::default() };
+        assert_eq!(o.with_csv_for("t1").csv.as_deref(), Some("results/all-t1.csv"));
+        assert_eq!(o.with_csv_for("F3").csv.as_deref(), Some("results/all-f3.csv"));
+        // Distinct tables never share a path.
+        assert_ne!(o.with_csv_for("t1").csv, o.with_csv_for("t2").csv);
+        // No extension: the id is appended.
+        o.csv = Some("out/tables".to_string());
+        assert_eq!(o.with_csv_for("a1").csv.as_deref(), Some("out/tables-a1"));
+        // A dot in a directory name is not an extension.
+        o.csv = Some("out.d/tables".to_string());
+        assert_eq!(o.with_csv_for("a1").csv.as_deref(), Some("out.d/tables-a1"));
+        // No CSV requested: still none.
+        o.csv = None;
+        assert_eq!(o.with_csv_for("t1").csv, None);
     }
 
     #[test]

@@ -1,0 +1,169 @@
+//! The experiment registry: one entry per reproduced table/figure.
+//!
+//! Every consumer of "which experiments exist" — the 18 `*_exp` harness
+//! binaries, the CLI's `experiment all` mode, the `regen` provenance
+//! binary, and the benches — resolves ids through this table, so adding an
+//! experiment is one entry here (a missing entry fails the registry
+//! completeness test against `results/`).
+
+use mtm_analysis::table::Table;
+
+use crate::opts::ExpOpts;
+
+/// A registered experiment: id, human title, and its runner.
+pub struct Experiment {
+    /// Lowercase id (`"t1"`, `"f3"`, `"a2"`); also the `results/` file stem.
+    pub id: &'static str,
+    /// Title line printed above the table (matches the committed
+    /// `results/<id>.txt` headers).
+    pub title: &'static str,
+    /// Run the sweep, returning the result table.
+    pub run: fn(&ExpOpts) -> Table,
+}
+
+impl Experiment {
+    /// `"t1"` → `"T1"`, the display form used in table headers.
+    pub fn display_id(&self) -> String {
+        self.id.to_uppercase()
+    }
+}
+
+/// Every experiment, in presentation order (paper claims T*/F*, then the
+/// beyond-the-paper F8/F9 and ablations A*).
+pub static REGISTRY: [Experiment; 18] = [
+    Experiment {
+        id: "t1",
+        title: "Theorem VI.1 — blind gossip O((1/a)*D^2*log^2 n)",
+        run: crate::exp_t1::run,
+    },
+    Experiment {
+        id: "f1",
+        title: "Sec VI — Omega(D^2/sqrt(a)) lower bound on the line of stars",
+        run: crate::exp_f1::run,
+    },
+    Experiment {
+        id: "t2",
+        title: "Corollary VI.6 — PUSH-PULL rumor spreading, b=0",
+        run: crate::exp_t2::run,
+    },
+    Experiment {
+        id: "f2",
+        title: "Theorem VII.2 — tau sweep, bit convergence vs blind gossip",
+        run: crate::exp_f2::run,
+    },
+    Experiment {
+        id: "t3",
+        title: "Theorem VII.2 — polylog rounds for tau >= log D, a = O(1)",
+        run: crate::exp_t3::run,
+    },
+    Experiment {
+        id: "f3",
+        title: "Sec VI vs VII — b=0 vs b=1 separation",
+        run: crate::exp_f3::run,
+    },
+    Experiment {
+        id: "t4",
+        title: "Theorem VIII.2 — non-synchronized vs synchronized bit convergence",
+        run: crate::exp_t4::run,
+    },
+    Experiment {
+        id: "f4",
+        title: "Sec VIII — self-stabilization on component joins",
+        run: crate::exp_f4::run,
+    },
+    Experiment { id: "t5", title: "Lemma V.1 — gamma >= alpha/4", run: crate::exp_t5::run },
+    Experiment {
+        id: "f5",
+        title: "Theorem V.2 — PPUSH matching approximation m/f(r)",
+        run: crate::exp_f5::run,
+    },
+    Experiment {
+        id: "t6",
+        title: "Sec IX — tag length ablation b in {0, 1, loglog n}",
+        run: crate::exp_t6::run,
+    },
+    Experiment {
+        id: "f6",
+        title: "Related work — mobile vs classical telephone model gap",
+        run: crate::exp_f6::run,
+    },
+    Experiment {
+        id: "f7",
+        title: "Convergence trajectories (fraction agreeing on the winner)",
+        run: crate::exp_f7::run,
+    },
+    Experiment {
+        id: "f8",
+        title: "Fault injection: crash churn x message loss vs stabilization",
+        run: crate::exp_f8::run,
+    },
+    Experiment {
+        id: "f9",
+        title: "Scaling: slopes at 10^5-10^6 nodes on 8-regular expanders",
+        run: crate::exp_f9::run,
+    },
+    Experiment {
+        id: "a1",
+        title: "Ablation — ID tag length multiplier beta",
+        run: crate::exp_a1::run,
+    },
+    Experiment { id: "a2", title: "Ablation — group length multiplier", run: crate::exp_a2::run },
+    Experiment {
+        id: "a3",
+        title: "Ablation — PUSH-PULL vs PUSH-only vs PULL-only",
+        run: crate::exp_a3::run,
+    },
+];
+
+/// Look up an experiment by id (case-insensitive).
+pub fn find(id: &str) -> Option<&'static Experiment> {
+    REGISTRY.iter().find(|e| e.id.eq_ignore_ascii_case(id))
+}
+
+/// The shared `main` of every `*_exp` harness binary: parse options from
+/// the environment, run the experiment, emit the table (and CSV when
+/// requested). Exits nonzero if the CSV write fails, so scripted
+/// regeneration cannot mistake a partial emit for success.
+pub fn run_binary(id: &str) -> ! {
+    let exp = find(id).expect("binary wired to a registered experiment id");
+    let opts = ExpOpts::from_env();
+    let table = (exp.run)(&opts);
+    match opts.emit(&exp.display_id(), exp.title, &table) {
+        Ok(()) => std::process::exit(0),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_unique_and_in_presentation_order() {
+        let ids: Vec<&str> = REGISTRY.iter().map(|e| e.id).collect();
+        assert_eq!(ids, crate::ALL_IDS);
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), REGISTRY.len(), "duplicate experiment id");
+    }
+
+    #[test]
+    fn find_is_case_insensitive() {
+        assert_eq!(find("t1").map(|e| e.id), Some("t1"));
+        assert_eq!(find("T1").map(|e| e.id), Some("t1"));
+        assert!(find("t99").is_none());
+    }
+
+    #[test]
+    fn titles_are_header_safe() {
+        for e in &REGISTRY {
+            assert!(!e.title.is_empty(), "{} has no title", e.id);
+            assert!(!e.title.contains('\n'), "{} title breaks the header line", e.id);
+            assert_eq!(e.display_id(), e.id.to_uppercase());
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! Results provenance: the committed tables under `results/` must match
+//! `results/MANIFEST.json`, and the manifest machinery itself must
+//! round-trip. These are the same checks CI's results-drift job runs via
+//! `regen --check`; having them in the test suite means `cargo test`
+//! catches a stale table before a PR is even opened.
+
+use std::path::{Path, PathBuf};
+
+use mtm_experiments::manifest::{self, Manifest};
+use mtm_experiments::opts::{ExpOpts, Scale};
+use mtm_experiments::registry::REGISTRY;
+
+fn results_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("results")
+}
+
+/// Every registered experiment has a committed table, and every committed
+/// table has a registry entry — drift in either direction is how stale
+/// results creep in unnoticed.
+#[test]
+fn registry_and_results_cover_each_other() {
+    let dir = results_dir();
+    for exp in REGISTRY.iter() {
+        for ext in ["txt", "csv"] {
+            let path = dir.join(format!("{}.{ext}", exp.id));
+            assert!(path.is_file(), "{} is registered but {} is missing", exp.id, path.display());
+        }
+    }
+    for entry in std::fs::read_dir(&dir).expect("results/ exists") {
+        let name = entry.expect("dir entry").file_name().into_string().expect("utf-8 name");
+        let Some(stem) = name.strip_suffix(".txt").or_else(|| name.strip_suffix(".csv")) else {
+            continue;
+        };
+        assert!(
+            mtm_experiments::registry::find(stem).is_some(),
+            "results/{name} has no registry entry — register it or delete the file"
+        );
+    }
+}
+
+/// Each committed `.txt` header carries the registry title, so the files
+/// are regenerable bit-for-bit by `regen`.
+#[test]
+fn committed_headers_match_registry_titles() {
+    let dir = results_dir();
+    for exp in REGISTRY.iter() {
+        let txt =
+            std::fs::read_to_string(dir.join(format!("{}.txt", exp.id))).expect("committed txt");
+        let header = txt.lines().next().unwrap_or_default();
+        assert_eq!(
+            header,
+            format!("== {}: {} ==", exp.display_id(), exp.title),
+            "{}: header drifted from the registry title",
+            exp.id
+        );
+    }
+}
+
+/// The committed manifest verifies against the committed files: every
+/// digest matches and no orphan tables exist. This is `regen --check`.
+#[test]
+fn committed_manifest_digests_are_clean() {
+    let dir = results_dir();
+    let m = Manifest::load(&dir).expect("results/MANIFEST.json parses");
+    assert_eq!(m.tables.len(), REGISTRY.len(), "manifest covers every experiment");
+    let problems = manifest::check_digests(&m, &dir);
+    assert!(problems.is_empty(), "committed results drifted:\n  {}", problems.join("\n  "));
+}
+
+/// End-to-end quick-scale regeneration into a scratch directory: regen
+/// writes files + manifest, `--check` passes, tampering makes it fail
+/// naming the offending table, and a second targeted regeneration merges
+/// into (not truncates) the manifest.
+#[test]
+fn quick_regen_roundtrip_detects_tampering() {
+    let dir = std::env::temp_dir().join("mtm-provenance-itest");
+    let _ = std::fs::remove_dir_all(&dir);
+    let quick = ExpOpts { scale: Scale::Quick, ..ExpOpts::default() };
+
+    let ids = vec!["t5".to_string(), "f5".to_string()];
+    let m = manifest::regenerate(&ids, &dir, &quick).expect("quick regeneration succeeds");
+    assert_eq!(m.tables.len(), 2);
+    assert_eq!(m.entry("t5").expect("t5 recorded").scale, "quick");
+    assert!(manifest::check_digests(&m, &dir).is_empty(), "fresh regen must verify");
+    assert!(manifest::check_quick(&m, 0).is_empty(), "quick digests must be reproducible");
+
+    // Tamper with one emitted file: digest check fails and names the table.
+    let victim = dir.join("t5.csv");
+    let mut bytes = std::fs::read(&victim).expect("emitted csv");
+    bytes.push(b'x');
+    std::fs::write(&victim, bytes).expect("tamper");
+    let problems = manifest::check_digests(&m, &dir);
+    assert_eq!(problems.len(), 1, "{problems:?}");
+    assert!(problems[0].starts_with("t5:"), "problem names the table: {}", problems[0]);
+
+    // Targeted re-regeneration repairs t5 and keeps f5's entry.
+    let m2 = manifest::regenerate(&[ids[0].clone()], &dir, &quick).expect("repair regen");
+    assert_eq!(m2.tables.len(), 2, "merge, not truncate");
+    assert!(manifest::check_digests(&m2, &dir).is_empty());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -7,6 +7,11 @@
 //! * `mtm elect <algo> <family> <n> [opts]` — one leader election run
 //!   (`algo`: blind | bitconv | nonsync; `--detect-stuck` diagnoses
 //!   frozen runs and exits 3).
+//! * `mtm serve <family> <n> [opts]` — continuous leadership maintenance
+//!   (epochs, heartbeats, re-election) under optional churn: `--rounds N`,
+//!   `--timeout N` (0 = auto), `--churn CRASH,RECOVER`, `--loss P`,
+//!   `--crash-leader R`, `--wedge-window W`. Exits 0 on a completed
+//!   horizon, 3 when wedge diagnosis fires.
 //! * `mtm spread <algo> <family> <n> [opts]` — one rumor-spreading run
 //!   (`algo`: push-pull | ppush | classical).
 //! * `mtm graph <family> <n>` — print a family instance's statistics
@@ -19,18 +24,22 @@
 //! `--quick/--full`, `--trials N`, `--threads N`, `--csv PATH`.
 
 use mtm_core::{
-    BitConvergence, BlindGossip, NonSyncBitConvergence, Ppush, PushPull, TagConfig, UidPool,
+    BitConvergence, BlindGossip, MaintainedGossip, MaintenanceConfig, NonSyncBitConvergence, Ppush,
+    PushPull, TagConfig, UidPool,
 };
-use mtm_engine::{ActivationSchedule, Engine, ModelParams, RunStatus};
+use mtm_engine::{
+    ActivationSchedule, Engine, ModelParams, RunStatus, ServiceConfig, ServiceStatus,
+};
 use mtm_experiments::ExpOpts;
 use mtm_graph::dynamic::{BoxedTopology, RelabelingAdversary, StaticTopology};
-use mtm_graph::GraphFamily;
+use mtm_graph::{FaultConfig, FaultyTopology, GraphFamily, ScheduledCrashes};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let code = match args.first().map(String::as_str) {
         Some("experiment") => cmd_experiment(&args[1..]),
         Some("elect") => cmd_elect(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("spread") => cmd_spread(&args[1..]),
         Some("graph") => cmd_graph(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
@@ -53,6 +62,8 @@ fn usage() {
     eprintln!(
         "  mtm elect <blind|bitconv|nonsync> <family> <n> [--seed N] [--tau N] [--detect-stuck]"
     );
+    eprintln!("  mtm serve <family> <n> [--seed N] [--rounds N] [--timeout N] [--churn C,R]");
+    eprintln!("            [--loss P] [--crash-leader ROUND] [--wedge-window W]");
     eprintln!("  mtm spread <push-pull|ppush|classical> <family> <n> [--seed N]");
     eprintln!("  mtm graph <family> <n> [--seed N] [--export PATH]");
     eprintln!(
@@ -288,17 +299,26 @@ fn cmd_elect(args: &[String]) -> i32 {
         }
     };
     match outcome.status {
-        RunStatus::Stabilized => {
-            println!(
-                "stabilized in {} rounds; leader UID {:#x}; {} proposals, {} connections ({:.1}% success)",
-                outcome.stabilized_round.unwrap(),
-                outcome.winner.unwrap(),
-                outcome.metrics.proposals,
-                outcome.metrics.connections,
-                100.0 * outcome.metrics.proposal_success_rate()
-            );
-            0
-        }
+        RunStatus::Stabilized => match (outcome.stabilized_round, outcome.winner) {
+            (Some(round), Some(winner)) => {
+                println!(
+                    "stabilized in {round} rounds; leader UID {winner:#x}; {} proposals, {} connections ({:.1}% success)",
+                    outcome.metrics.proposals,
+                    outcome.metrics.connections,
+                    100.0 * outcome.metrics.proposal_success_rate()
+                );
+                0
+            }
+            (round, winner) => {
+                // Stabilized without a round or winner breaks the
+                // RunOutcome contract — report it instead of panicking.
+                println!(
+                    "stabilized, but the outcome is incomplete (round {round:?}, winner \
+                     {winner:?}) — harness invariant violated, treating as failure"
+                );
+                1
+            }
+        },
         RunStatus::Stuck(report) => {
             println!(
                 "stuck: no state change since round {} (detected at round {}, window {})",
@@ -324,6 +344,230 @@ fn cmd_elect(args: &[String]) -> i32 {
                 println!("diagnosis: last state change at round {r} — slow but not provably stuck");
             }
             1
+        }
+    }
+}
+
+/// Parsed arguments for `mtm serve`.
+struct ServeArgs {
+    source: GraphSource,
+    seed: u64,
+    rounds: u64,
+    /// Heartbeat-staleness timeout; 0 = auto (`32·⌈log₂ n⌉`, comfortably
+    /// above the measured steady-state gossip staleness tail).
+    timeout: u64,
+    churn: Option<(f64, f64)>,
+    loss: f64,
+    crash_leader: Option<u64>,
+    wedge_window: u64,
+}
+
+fn parse_serve_args(args: &[String]) -> Result<ServeArgs, String> {
+    let (source, mut i) = if args.first().map(String::as_str) == Some("--graph-file") {
+        let path = args.get(1).ok_or("--graph-file needs a path")?.clone();
+        (GraphSource::File(path), 2)
+    } else {
+        let family = args.first().and_then(|s| GraphFamily::parse(s)).ok_or_else(|| {
+            format!("expected a graph family or --graph-file, got {:?}", args.first())
+        })?;
+        let n: usize = args.get(1).ok_or("missing n")?.parse().map_err(|e| format!("n: {e}"))?;
+        (GraphSource::Family(family, n), 2)
+    };
+    let mut a = ServeArgs {
+        source,
+        seed: 42,
+        rounds: 2000,
+        timeout: 0,
+        churn: None,
+        loss: 0.0,
+        crash_leader: None,
+        wedge_window: 0,
+    };
+    let take = |args: &[String], i: &mut usize, flag: &str| -> Result<String, String> {
+        *i += 1;
+        args.get(*i).cloned().ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seed" => {
+                a.seed =
+                    take(args, &mut i, "--seed")?.parse().map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--rounds" => {
+                a.rounds = take(args, &mut i, "--rounds")?
+                    .parse()
+                    .map_err(|e| format!("--rounds: {e}"))?;
+            }
+            "--timeout" => {
+                a.timeout = take(args, &mut i, "--timeout")?
+                    .parse()
+                    .map_err(|e| format!("--timeout: {e}"))?;
+            }
+            "--churn" => {
+                let v = take(args, &mut i, "--churn")?;
+                let (c, r) = v
+                    .split_once(',')
+                    .ok_or_else(|| format!("--churn wants CRASH,RECOVER, got {v:?}"))?;
+                let crash: f64 = c.parse().map_err(|e| format!("--churn crash: {e}"))?;
+                let recover: f64 = r.parse().map_err(|e| format!("--churn recover: {e}"))?;
+                if !(0.0..=1.0).contains(&crash) || !(0.0..=1.0).contains(&recover) {
+                    return Err("--churn probabilities must be in [0, 1]".to_string());
+                }
+                a.churn = Some((crash, recover));
+            }
+            "--loss" => {
+                a.loss =
+                    take(args, &mut i, "--loss")?.parse().map_err(|e| format!("--loss: {e}"))?;
+                if !(0.0..=1.0).contains(&a.loss) {
+                    return Err("--loss must be in [0, 1]".to_string());
+                }
+            }
+            "--crash-leader" => {
+                a.crash_leader = Some(
+                    take(args, &mut i, "--crash-leader")?
+                        .parse()
+                        .map_err(|e| format!("--crash-leader: {e}"))?,
+                );
+            }
+            "--wedge-window" => {
+                a.wedge_window = take(args, &mut i, "--wedge-window")?
+                    .parse()
+                    .map_err(|e| format!("--wedge-window: {e}"))?;
+            }
+            other => return Err(format!("unknown flag: {other}")),
+        }
+        i += 1;
+    }
+    Ok(a)
+}
+
+/// `mtm serve`: run the maintenance protocol as a long-lived service —
+/// elect, heartbeat, detect failures, re-elect — under optional fault
+/// injection, and report the service-quality counters. Exit codes: 0 the
+/// horizon completed, 2 usage error, 3 the wedge detector cut the run
+/// short (frozen disagreeing state that no future round can change).
+fn cmd_serve(args: &[String]) -> i32 {
+    let a = match parse_serve_args(args) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+    let g = match a.source.build(a.seed) {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+    if !g.is_connected() {
+        eprintln!("error: topology must be connected");
+        return 2;
+    }
+    let n = g.node_count();
+    let uids = UidPool::random(n, a.seed ^ 0x11D);
+    // Auto timeout: the detector must out-wait the steady-state heartbeat
+    // staleness tail, which grows with the gossip spread time (measured
+    // ≈ 42 rounds at n = 64 up to ≈ 83 at n = 2¹⁷ on 8-regular
+    // expanders). 32·⌈log₂ n⌉ keeps a 3-4× margin across that range.
+    let timeout = if a.timeout == 0 {
+        32 * (usize::BITS - n.max(2).next_power_of_two().leading_zeros() - 1) as u64
+    } else {
+        a.timeout
+    };
+    if a.wedge_window > 0 && a.wedge_window <= timeout {
+        eprintln!(
+            "error: --wedge-window must exceed the timeout ({timeout}): a pending \
+             failure detector is a ticking state change the fingerprint cannot see"
+        );
+        return 2;
+    }
+    // Compose the fault layers around the static graph; the leader crash
+    // schedule targets the initial min-UID holder (the node that wins the
+    // first election).
+    let leader_node = uids.min_uid_node() as mtm_graph::NodeId;
+    let base: BoxedTopology = match a.churn {
+        Some((crash, recover)) => Box::new(FaultyTopology::new(
+            StaticTopology::new(g),
+            FaultConfig::crashes(crash, recover),
+            a.seed ^ 0xFA,
+        )),
+        None => Box::new(StaticTopology::new(g)),
+    };
+    let topo: BoxedTopology = match a.crash_leader {
+        Some(round) if round >= 1 => {
+            Box::new(ScheduledCrashes::new(base, vec![(leader_node, round, u64::MAX)]))
+        }
+        Some(_) => {
+            eprintln!("error: --crash-leader round must be ≥ 1");
+            return 2;
+        }
+        None => base,
+    };
+    println!(
+        "serving: graph={} n={n} seed={} rounds={} timeout={timeout} churn={} loss={} crash-leader={} wedge-window={}",
+        a.source.describe(),
+        a.seed,
+        a.rounds,
+        a.churn.map_or("off".to_string(), |(c, r)| format!("{c},{r}")),
+        a.loss,
+        a.crash_leader.map_or("off".to_string(), |r| format!("@{r}")),
+        if a.wedge_window == 0 { "off".to_string() } else { a.wedge_window.to_string() },
+    );
+    let mut e = Engine::new(
+        topo,
+        ModelParams::mobile(0),
+        ActivationSchedule::synchronized(n),
+        MaintainedGossip::spawn(&uids, MaintenanceConfig::new(timeout)),
+        a.seed,
+    );
+    if a.loss > 0.0 {
+        e.set_proposal_loss(a.loss);
+    }
+    let cfg = ServiceConfig::rounds(a.rounds).with_wedge_window(a.wedge_window);
+    let out = e.run_service(&cfg);
+    println!(
+        "service over {} rounds: {} re-elections, {} leaderless, {} dual-leader, {} stable (max {} concurrent claimants)",
+        out.rounds,
+        out.service.re_elections,
+        out.service.leaderless_rounds,
+        out.service.dual_leader_rounds,
+        out.service.stable_rounds,
+        out.service.max_concurrent_claimants,
+    );
+    for ep in &out.epochs {
+        match (ep.agreed_round, ep.leader) {
+            (Some(r), Some(l)) => println!(
+                "  epoch {}: started round {}, agreed round {r}, leader UID {l:#x}",
+                ep.epoch, ep.started_round
+            ),
+            _ => println!(
+                "  epoch {}: started round {}, never fully agreed",
+                ep.epoch, ep.started_round
+            ),
+        }
+    }
+    match out.final_leader {
+        Some(l) => println!("final: epoch {}, leader UID {l:#x}", out.final_epoch),
+        None => println!("final: epoch {}, no network-wide agreement", out.final_epoch),
+    }
+    match out.status {
+        ServiceStatus::Completed => 0,
+        ServiceStatus::Wedged(report) => {
+            println!(
+                "wedged: no durable state change since round {} (detected at round {}, window {}) with the up participants disagreeing",
+                report.fixed_since, report.detected_round, report.window
+            );
+            if report.idle_connections == 0 {
+                println!("diagnosis: zero connections over the window — the topology is partitioned or dead");
+            } else {
+                println!(
+                    "diagnosis: {} connections during the window changed nothing — a disagreeing fixed point",
+                    report.idle_connections
+                );
+            }
+            3
         }
     }
 }

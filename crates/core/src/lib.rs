@@ -36,6 +36,7 @@ pub mod bit_convergence;
 pub mod blind_gossip;
 pub mod config;
 pub mod id;
+pub mod maintenance;
 pub mod nonsync;
 pub mod rumor;
 pub mod rumor_ablation;
@@ -44,6 +45,7 @@ pub use bit_convergence::BitConvergence;
 pub use blind_gossip::BlindGossip;
 pub use config::TagConfig;
 pub use id::{IdPair, UidPool};
+pub use maintenance::{Heartbeat, MaintainedGossip, MaintenanceConfig};
 pub use nonsync::NonSyncBitConvergence;
 pub use rumor::{Ppush, PushPull};
 pub use rumor_ablation::{PullOnly, PushOnly};

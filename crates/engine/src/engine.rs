@@ -355,6 +355,12 @@ impl<P: Protocol, T: DynamicTopology> Engine<P, T> {
         &self.schedule
     }
 
+    /// Immutable view of the topology (e.g. to query
+    /// [`DynamicTopology::is_node_up`] after a step).
+    pub fn topology(&self) -> &T {
+        &self.topology
+    }
+
     /// Immutable view of node `u`'s protocol state.
     pub fn node(&self, u: usize) -> &P {
         &self.nodes[u]

@@ -39,10 +39,12 @@ pub mod metrics;
 pub mod model;
 pub mod protocol;
 pub mod runner;
+pub mod service;
 
 pub use activation::ActivationSchedule;
 pub use audit::determinism_self_check;
 pub use engine::{rounds_after_activation, Engine, RunOutcome, RunStatus, StuckReport};
-pub use metrics::{Metrics, RoundTrace};
+pub use metrics::{Metrics, RoundTrace, ServiceMetrics};
 pub use model::{ConnectionPolicy, ModelParams, Tag};
-pub use protocol::{Action, LeaderView, PayloadCost, Protocol, RumorView, Scan};
+pub use protocol::{Action, EpochView, LeaderView, PayloadCost, Protocol, RumorView, Scan};
+pub use service::{EpochRecord, ServiceConfig, ServiceOutcome, ServiceStatus};

@@ -29,6 +29,35 @@ impl Metrics {
     }
 }
 
+/// Safety/liveness counters for a service-mode run (continuous leadership
+/// maintenance — see [`crate::service`]). All round counts are over the
+/// rounds executed by the `run_service` call that produced them.
+///
+/// A node is a *claimant* in a round when its `leader` variable holds its
+/// own UID; only claimants that are activated **and** up (radio on, per
+/// [`DynamicTopology::is_node_up`](mtm_graph::DynamicTopology::is_node_up))
+/// are counted — a crashed ex-leader that still believes it leads cannot
+/// serve anyone, so it contributes to *exposure* only once it recovers.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServiceMetrics {
+    /// Rounds with zero up claimants: nobody was serving (the gap between
+    /// a leader's death and the re-election that replaces it, plus any
+    /// interval where every claimant was crashed).
+    pub leaderless_rounds: u64,
+    /// Rounds with ≥ 2 up claimants: the dual-leader exposure window in
+    /// which split-brain writes would be possible.
+    pub dual_leader_rounds: u64,
+    /// Rounds in which every up participant agreed on one `(epoch, leader)`
+    /// and exactly one up claimant existed — the service was healthy.
+    pub stable_rounds: u64,
+    /// Leadership terms started beyond the first: each observed increase of
+    /// the network's maximum epoch counts one re-election (concurrent
+    /// detections that merge into a single new epoch count once).
+    pub re_elections: u64,
+    /// Largest number of simultaneous up claimants ever observed.
+    pub max_concurrent_claimants: u64,
+}
+
 /// Per-round trace entry (enabled with [`crate::Engine::enable_tracing`]).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct RoundTrace {

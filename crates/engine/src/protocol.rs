@@ -135,6 +135,19 @@ pub trait LeaderView {
     fn uid(&self) -> u64;
 }
 
+/// Read access to an epoch-numbered leadership-maintenance protocol's term
+/// counter (service mode — see [`crate::service`]).
+///
+/// Terms are totally ordered: state tagged with a higher epoch always
+/// supersedes state from a lower epoch, and within one epoch the ordinary
+/// min-UID election rule applies. A protocol starts every node in epoch 0
+/// and bumps the epoch exactly when its failure detector declares the
+/// current leader dead.
+pub trait EpochView {
+    /// The leadership term this node currently participates in.
+    fn epoch(&self) -> u64;
+}
+
 /// Read access to a rumor-spreading protocol's informed flag.
 pub trait RumorView {
     /// True iff this node knows the rumor.

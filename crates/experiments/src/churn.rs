@@ -1,0 +1,82 @@
+//! Shared machinery for the C-series (service-mode) experiments.
+//!
+//! C1–C4 all drive the same stack — [`MaintainedGossip`] under
+//! [`Engine::run_service`] — against different churn scenarios. This
+//! module centralizes the pieces they share: the engine constructor with
+//! the standard seed-stream assignment, and small aggregation helpers for
+//! the per-trial result structs the C tables summarize.
+//!
+//! Seed streams match the election harnesses so a C trial and an election
+//! trial with the same base seed build the same world: stream 0 = graph,
+//! 10 = UID pool, 11 = engine, 13 = fault chains.
+
+use mtm_core::{MaintainedGossip, MaintenanceConfig, UidPool};
+use mtm_engine::{ActivationSchedule, Engine, ModelParams};
+use mtm_graph::rng::derive_seed;
+use mtm_graph::DynamicTopology;
+
+/// Build a maintained-gossip service engine over an arbitrary topology.
+///
+/// The UID pool is passed in (not derived here) because scenarios like C2
+/// need the pool *before* the topology exists — scheduled crashes target
+/// specific UID ranks. Derive it with `UidPool::random(n, derive_seed(seed,
+/// 10))` to stay on the standard stream.
+pub fn service_engine<T: DynamicTopology>(
+    topo: T,
+    schedule: ActivationSchedule,
+    uids: &UidPool,
+    timeout: u64,
+    seed: u64,
+) -> Engine<MaintainedGossip, T> {
+    let nodes = MaintainedGossip::spawn(uids, MaintenanceConfig::new(timeout));
+    Engine::new(topo, ModelParams::mobile(0), schedule, nodes, derive_seed(seed, 11))
+}
+
+/// Mean of a per-trial quantity (0 for an empty trial set).
+pub fn mean_by<T>(trials: &[T], f: impl Fn(&T) -> f64) -> f64 {
+    if trials.is_empty() {
+        return 0.0;
+    }
+    trials.iter().map(f).sum::<f64>() / trials.len() as f64
+}
+
+/// Fraction of trials satisfying a predicate (0 for an empty trial set).
+pub fn frac_by<T>(trials: &[T], pred: impl Fn(&T) -> bool) -> f64 {
+    if trials.is_empty() {
+        return 0.0;
+    }
+    trials.iter().filter(|t| pred(t)).count() as f64 / trials.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtm_engine::ServiceConfig;
+    use mtm_graph::{gen, StaticTopology};
+
+    #[test]
+    fn aggregators_handle_empty_and_nonempty() {
+        let empty: [u64; 0] = [];
+        assert_eq!(mean_by(&empty, |&x| x as f64), 0.0);
+        assert_eq!(frac_by(&empty, |&x| x > 0), 0.0);
+        let xs = [1u64, 2, 3, 4];
+        assert!((mean_by(&xs, |&x| x as f64) - 2.5).abs() < 1e-12);
+        assert!((frac_by(&xs, |&x| x >= 3) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn service_engine_runs_on_standard_streams() {
+        let seed = 42;
+        let uids = UidPool::random(8, derive_seed(seed, 10));
+        let mut e = service_engine(
+            StaticTopology::new(gen::clique(8)),
+            ActivationSchedule::synchronized(8),
+            &uids,
+            64,
+            seed,
+        );
+        let out = e.run_service(&ServiceConfig::rounds(400));
+        assert_eq!(out.final_leader, Some(uids.min_uid()));
+        assert_eq!(out.service.re_elections, 0);
+    }
+}

@@ -1,0 +1,141 @@
+//! **C1 — flash-crowd join: a small core elects, then the crowd arrives**
+//! (service mode beyond the paper's one-shot elections).
+//!
+//! Scenario: an eighth of the network is online from round 1 and runs the
+//! maintenance protocol alone; at `join_round` the remaining seven eighths
+//! activate simultaneously (a flash crowd opening the app at once, §VIII's
+//! asynchronous activations pushed to the worst case). Every joiner starts
+//! as a claimant of epoch 0, so the instant after the join the network has
+//! hundreds of concurrent claimants — the question is how fast the
+//! min-UID rule collapses them and at what disruption cost.
+//!
+//! Two deliberate non-goals: the core's induced subgraph on an 8-regular
+//! expander is sparse (expected intra-core degree ≈ 1), so the core phase
+//! may not reach agreement — the `core agreed` column reports how often it
+//! does rather than forcing it. And the crowd legitimately *takes over*
+//! leadership whenever the global minimum UID arrives with it (expected in
+//! 7/8 of trials): maintenance guarantees convergence to the min UID of
+//! whoever is present, not tenure for the incumbent. The `takeover`
+//! column measures exactly that.
+//!
+//! Expected shape: settle time after the join on the order of a fresh
+//! election at full size; dual-claimant exposure for most of the settle
+//! window; zero leaderless rounds (claimants are never scarce here); zero
+//! re-elections (heartbeats never go stale — nobody is *dead*, merely
+//! late).
+
+use mtm_analysis::table::{fmt_f64, Table};
+use mtm_core::UidPool;
+use mtm_engine::runner::run_trials;
+use mtm_engine::{ActivationSchedule, ServiceConfig};
+use mtm_graph::rng::derive_seed;
+use mtm_graph::{GraphFamily, StaticTopology};
+
+use crate::churn::{frac_by, mean_by, service_engine};
+use crate::harness::summarize;
+use crate::opts::{ExpOpts, Scale};
+
+/// Per-trial measurements for one flash-crowd run.
+struct Trial {
+    /// Rounds from the join until every up participant agrees on one
+    /// leader in the final epoch (`None` = never within the horizon).
+    settle: Option<u64>,
+    /// Did the isolated core phase itself reach agreement before the join?
+    core_agreed: bool,
+    /// Final leader differs from the core's minimum UID.
+    takeover: bool,
+    dual_rounds: u64,
+    leaderless_rounds: u64,
+    re_elections: u64,
+}
+
+fn trial(n: usize, join_round: u64, timeout: u64, horizon: u64, seed: u64) -> Trial {
+    let g = GraphFamily::Expander8.build(n, derive_seed(seed, 0));
+    let n_actual = g.node_count();
+    let core = (n_actual / 8).max(1);
+    let uids = UidPool::random(n_actual, derive_seed(seed, 10));
+    let core_min = uids.as_slice()[..core].iter().copied().min().expect("core is non-empty");
+    let mut e = service_engine(
+        StaticTopology::new(g),
+        ActivationSchedule::two_wave(n_actual, core, join_round),
+        &uids,
+        timeout,
+        seed,
+    );
+    // Phase 1: the core alone, rounds 1..join_round. Phase 2 starts fresh
+    // counters at the join so the measured disruption is the crowd's.
+    let pre = e.run_service(&ServiceConfig::rounds(join_round - 1));
+    let post = e.run_service(&ServiceConfig::rounds(horizon - (join_round - 1)));
+    let last = post.epochs.last().expect("epoch history is never empty");
+    Trial {
+        settle: last.agreed_round.map(|r| r - (join_round - 1)),
+        core_agreed: pre.final_leader.is_some(),
+        takeover: post.final_leader.is_some_and(|l| l != core_min),
+        dual_rounds: post.service.dual_leader_rounds,
+        leaderless_rounds: post.service.leaderless_rounds,
+        re_elections: post.service.re_elections,
+    }
+}
+
+/// Run the experiment, returning the result table.
+pub fn run(opts: &ExpOpts) -> Table {
+    let (sizes, join_round, timeout, horizon, trials): (&[usize], u64, u64, u64, usize) =
+        match opts.scale {
+            Scale::Quick => (&[64], 60, 128, 400, opts.trials_or(2)),
+            Scale::Full => (&[256, 1024, 4096], 200, 256, 1200, opts.trials_or(8)),
+        };
+    let mut table = Table::new(vec![
+        "n",
+        "core",
+        "join@",
+        "trials",
+        "settle mean",
+        "settle median",
+        "dual rounds",
+        "leaderless",
+        "re-elect",
+        "core agreed",
+        "takeover",
+        "unsettled",
+    ]);
+    for &n in sizes {
+        let n_actual = GraphFamily::Expander8.build(n, 0).node_count();
+        let results: Vec<Trial> = run_trials(trials, opts.seed, opts.threads, move |_t, seed| {
+            trial(n, join_round, timeout, horizon, seed)
+        });
+        let settles: Vec<Option<u64>> = results.iter().map(|t| t.settle).collect();
+        let ts = summarize(&settles);
+        table.push_row(vec![
+            n_actual.to_string(),
+            (n_actual / 8).max(1).to_string(),
+            join_round.to_string(),
+            trials.to_string(),
+            ts.summary.as_ref().map_or("-".into(), |s| fmt_f64(s.mean)),
+            ts.summary.as_ref().map_or("-".into(), |s| fmt_f64(s.median)),
+            fmt_f64(mean_by(&results, |t| t.dual_rounds as f64)),
+            fmt_f64(mean_by(&results, |t| t.leaderless_rounds as f64)),
+            fmt_f64(mean_by(&results, |t| t.re_elections as f64)),
+            fmt_f64(frac_by(&results, |t| t.core_agreed)),
+            fmt_f64(frac_by(&results, |t| t.takeover)),
+            ts.timeouts.to_string(),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_shape() {
+        let mut opts = ExpOpts::quick();
+        opts.trials = 2;
+        let t = run(&opts);
+        assert_eq!(t.len(), 1);
+        let row = &t.rows()[0];
+        assert_eq!(row[11], "0", "every quick trial must settle after the join: {row:?}");
+        // Claimants are never scarce in a join-only scenario.
+        assert_eq!(row[7], fmt_f64(0.0), "no leaderless rounds expected: {row:?}");
+    }
+}

@@ -1,0 +1,150 @@
+//! **C2 — mass departure: the leader and its successors die at once**
+//! (service mode beyond the paper's one-shot elections).
+//!
+//! Scenario: the network elects and stabilizes, then at `depart` the `k`
+//! nodes holding the *smallest* UIDs all crash permanently — the adversarial
+//! worst case for a min-UID protocol, since the leader **and** its first
+//! `k−1` lines of succession vanish together (think: the organizing crew of
+//! a flash mob walks out). Survivors keep gossiping heartbeats that no one
+//! generates anymore; staleness accumulates; the detector fires; term
+//! `epoch+1` starts and must converge on the `(k+1)`-th smallest UID.
+//!
+//! The departure fraction sweeps from a sliver to a quarter of the network.
+//! Beyond ~25% on an 8-regular expander the survivor-induced subgraph
+//! starts shedding isolated vertices (each survivor keeps a neighbor with
+//! probability `1 − kill_frac⁸`), which would conflate detection latency
+//! with structural disconnection — the sweep deliberately stops short.
+//!
+//! Expected shape: leaderless downtime ≈ `timeout` + a fresh-election time
+//! (the heartbeat clocks were warm at the crash, so detection costs the
+//! full threshold); recovery latency roughly flat in `k` (detection
+//! dominates; the re-election only shrinks); exactly one extra term in
+//! nearly every trial (concurrent detectors merge into the same epoch).
+
+use mtm_analysis::table::{fmt_f64, Table};
+use mtm_core::UidPool;
+use mtm_engine::runner::run_trials;
+use mtm_engine::{ActivationSchedule, ServiceConfig};
+use mtm_graph::rng::derive_seed;
+use mtm_graph::{GraphFamily, NodeId, ScheduledCrashes, StaticTopology};
+
+use crate::churn::{frac_by, mean_by, service_engine};
+use crate::harness::summarize;
+use crate::opts::{ExpOpts, Scale};
+
+/// Per-trial measurements for one mass-departure run.
+struct Trial {
+    /// Rounds from the departure until the survivors agree on the expected
+    /// successor in the final epoch (`None` = not within the horizon).
+    recovery: Option<u64>,
+    /// Survivors ended agreed on the `(k+1)`-th smallest UID.
+    recovered: bool,
+    leaderless_rounds: u64,
+    dual_rounds: u64,
+    re_elections: u64,
+}
+
+fn trial(n: usize, kill_frac: f64, depart: u64, timeout: u64, horizon: u64, seed: u64) -> Trial {
+    let g = GraphFamily::Expander8.build(n, derive_seed(seed, 0));
+    let n_actual = g.node_count();
+    let uids = UidPool::random(n_actual, derive_seed(seed, 10));
+    let kill = ((n_actual as f64 * kill_frac) as usize).clamp(1, n_actual - 1);
+    // Node indices ordered by UID: the first `kill` depart, the next one is
+    // the expected successor.
+    let mut by_uid: Vec<usize> = (0..n_actual).collect();
+    by_uid.sort_unstable_by_key(|&u| uids.uid(u));
+    let outages: Vec<(NodeId, u64, u64)> =
+        by_uid[..kill].iter().map(|&u| (u as NodeId, depart, u64::MAX)).collect();
+    let successor = uids.uid(by_uid[kill]);
+    let mut e = service_engine(
+        ScheduledCrashes::new(StaticTopology::new(g), outages),
+        ActivationSchedule::synchronized(n_actual),
+        &uids,
+        timeout,
+        seed,
+    );
+    // Phase 1: elect and stabilize, rounds 1..depart. Phase 2 starts fresh
+    // counters at the crash so leaderless/dual counts are post-departure.
+    let _ = e.run_service(&ServiceConfig::rounds(depart - 1));
+    let post = e.run_service(&ServiceConfig::rounds(horizon - (depart - 1)));
+    let last = post.epochs.last().expect("epoch history is never empty");
+    let recovered = post.final_leader == Some(successor);
+    Trial {
+        recovery: last
+            .agreed_round
+            .filter(|_| last.leader == Some(successor))
+            .map(|r| r - (depart - 1)),
+        recovered,
+        leaderless_rounds: post.service.leaderless_rounds,
+        dual_rounds: post.service.dual_leader_rounds,
+        re_elections: post.service.re_elections,
+    }
+}
+
+/// Run the experiment, returning the result table.
+pub fn run(opts: &ExpOpts) -> Table {
+    let (sizes, fracs, depart, timeout, horizon, trials): (&[usize], &[f64], u64, u64, u64, usize) =
+        match opts.scale {
+            Scale::Quick => (&[64], &[0.1], 60, 128, 600, opts.trials_or(2)),
+            Scale::Full => (&[256, 1024], &[0.01, 0.1, 0.25], 200, 256, 1400, opts.trials_or(8)),
+        };
+    let mut table = Table::new(vec![
+        "n",
+        "killed",
+        "depart@",
+        "trials",
+        "recovery mean",
+        "recovery median",
+        "leaderless",
+        "dual rounds",
+        "re-elect",
+        "recovered",
+        "unrecovered",
+    ]);
+    for &n in sizes {
+        let n_actual = GraphFamily::Expander8.build(n, 0).node_count();
+        for &frac in fracs {
+            let results: Vec<Trial> =
+                run_trials(trials, opts.seed, opts.threads, move |_t, seed| {
+                    trial(n, frac, depart, timeout, horizon, seed)
+                });
+            let recoveries: Vec<Option<u64>> = results.iter().map(|t| t.recovery).collect();
+            let ts = summarize(&recoveries);
+            let kill = ((n_actual as f64 * frac) as usize).clamp(1, n_actual - 1);
+            table.push_row(vec![
+                n_actual.to_string(),
+                kill.to_string(),
+                depart.to_string(),
+                trials.to_string(),
+                ts.summary.as_ref().map_or("-".into(), |s| fmt_f64(s.mean)),
+                ts.summary.as_ref().map_or("-".into(), |s| fmt_f64(s.median)),
+                fmt_f64(mean_by(&results, |t| t.leaderless_rounds as f64)),
+                fmt_f64(mean_by(&results, |t| t.dual_rounds as f64)),
+                fmt_f64(mean_by(&results, |t| t.re_elections as f64)),
+                fmt_f64(frac_by(&results, |t| t.recovered)),
+                ts.timeouts.to_string(),
+            ]);
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_shape() {
+        let mut opts = ExpOpts::quick();
+        opts.trials = 2;
+        let t = run(&opts);
+        assert_eq!(t.len(), 1);
+        let row = &t.rows()[0];
+        assert_eq!(row[10], "0", "every quick trial must recover: {row:?}");
+        assert_eq!(row[9], fmt_f64(1.0), "survivors must elect the successor: {row:?}");
+        // Detection latency shows up as leaderless downtime: the survivors
+        // must age from their warm heartbeat state to the timeout.
+        let leaderless: f64 = row[6].parse().expect("numeric leaderless column");
+        assert!(leaderless >= 20.0, "leaderless ≈ timeout expected: {row:?}");
+    }
+}

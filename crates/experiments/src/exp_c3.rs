@@ -1,0 +1,141 @@
+//! **C3 — partition and heal: split brain on the dumbbell** (service mode
+//! beyond the paper's one-shot elections).
+//!
+//! Scenario: two 8-regular expander halves joined by a single bridge edge
+//! `(0, half)` — `gen::dumbbell_expander` — elect one leader, then node 0
+//! (a bridge endpoint) crashes for a window `[ps, pe)`, cutting the
+//! network in two. The half that lost sight of the leader watches its
+//! heartbeats go stale, times out, and starts a new term: for the rest of
+//! the window the network runs **two** leaders in **two** epochs — the
+//! split-brain exposure a CAP-style service must surface, not hide. At
+//! `pe` node 0 recovers, the bridge returns, and the higher epoch sweeps
+//! the reunited network; within the new term the ordinary min-UID rule
+//! reasserts the *global* minimum (every node implicitly competes when it
+//! first hears of a term), so the old leader reclaims office in the new
+//! epoch whenever it holds the global min.
+//!
+//! Note the asymmetry with C2: here the leader is never dead, merely
+//! unreachable from one side — so the re-election is a *false positive*
+//! the detector knowingly risks (module docs of `mtm_core::maintenance`),
+//! priced at one extra term and a dual-leader window instead of unbounded
+//! blocking.
+//!
+//! Expected shape: ≥ 1 re-election per trial once the window exceeds the
+//! timeout; dual-leader exposure ≈ window − timeout − detection slack;
+//! heal latency on the order of an election bottlenecked by the single
+//! bridge edge; final leader = global min UID in every trial.
+
+use mtm_analysis::table::{fmt_f64, Table};
+use mtm_core::UidPool;
+use mtm_engine::runner::run_trials;
+use mtm_engine::{ActivationSchedule, ServiceConfig};
+use mtm_graph::rng::derive_seed;
+use mtm_graph::{gen, NodeId, ScheduledCrashes, StaticTopology};
+
+use crate::churn::{frac_by, mean_by, service_engine};
+use crate::harness::summarize;
+use crate::opts::{ExpOpts, Scale};
+
+/// Per-trial measurements for one partition-and-heal run.
+struct Trial {
+    /// Rounds from the heal until the reunited network agrees on one
+    /// leader in the final epoch (`None` = not within the horizon).
+    heal: Option<u64>,
+    /// The reunited network ended agreed on the global minimum UID.
+    global_min_leads: bool,
+    /// Re-elections observed during the partition window.
+    split_re_elections: u64,
+    /// Dual-leader rounds during the partition window.
+    split_dual_rounds: u64,
+    /// Network-wide maximum epoch at the end of the run.
+    final_epoch: u64,
+}
+
+fn trial(half: usize, ps: u64, pe: u64, timeout: u64, horizon: u64, seed: u64) -> Trial {
+    let g = gen::dumbbell_expander(half, 8, derive_seed(seed, 0));
+    let n_actual = g.node_count();
+    let uids = UidPool::random(n_actual, derive_seed(seed, 10));
+    // Downing node 0 removes the bridge endpoint: the halves separate.
+    let bridge: NodeId = 0;
+    let topo = ScheduledCrashes::new(StaticTopology::new(g), vec![(bridge, ps, pe)]);
+    let mut e =
+        service_engine(topo, ActivationSchedule::synchronized(n_actual), &uids, timeout, seed);
+    // Phase 1: elect, rounds 1..ps. Phase 2: the partition window [ps, pe).
+    // Phase 3: healed, rounds pe..horizon. Fresh counters per phase.
+    let _ = e.run_service(&ServiceConfig::rounds(ps - 1));
+    let split = e.run_service(&ServiceConfig::rounds(pe - ps));
+    let healed = e.run_service(&ServiceConfig::rounds(horizon - (pe - 1)));
+    let last = healed.epochs.last().expect("epoch history is never empty");
+    Trial {
+        heal: last.agreed_round.map(|r| r - (pe - 1)),
+        global_min_leads: healed.final_leader == Some(uids.min_uid()),
+        split_re_elections: split.service.re_elections,
+        split_dual_rounds: split.service.dual_leader_rounds,
+        final_epoch: healed.final_epoch,
+    }
+}
+
+/// Run the experiment, returning the result table.
+pub fn run(opts: &ExpOpts) -> Table {
+    let (halves, ps, pe, timeout, horizon, trials): (&[usize], u64, u64, u64, u64, usize) =
+        match opts.scale {
+            Scale::Quick => (&[32], 60, 380, 256, 1000, opts.trials_or(2)),
+            Scale::Full => (&[128, 512, 2048], 300, 1100, 512, 2200, opts.trials_or(8)),
+        };
+    let mut table = Table::new(vec![
+        "n",
+        "window",
+        "timeout",
+        "trials",
+        "split re-elect",
+        "split dual",
+        "heal mean",
+        "heal median",
+        "final epoch",
+        "global min leads",
+        "unhealed",
+    ]);
+    for &half in halves {
+        let results: Vec<Trial> = run_trials(trials, opts.seed, opts.threads, move |_t, seed| {
+            trial(half, ps, pe, timeout, horizon, seed)
+        });
+        let heals: Vec<Option<u64>> = results.iter().map(|t| t.heal).collect();
+        let ts = summarize(&heals);
+        table.push_row(vec![
+            (2 * half).to_string(),
+            (pe - ps).to_string(),
+            timeout.to_string(),
+            trials.to_string(),
+            fmt_f64(mean_by(&results, |t| t.split_re_elections as f64)),
+            fmt_f64(mean_by(&results, |t| t.split_dual_rounds as f64)),
+            ts.summary.as_ref().map_or("-".into(), |s| fmt_f64(s.mean)),
+            ts.summary.as_ref().map_or("-".into(), |s| fmt_f64(s.median)),
+            fmt_f64(mean_by(&results, |t| t.final_epoch as f64)),
+            fmt_f64(frac_by(&results, |t| t.global_min_leads)),
+            ts.timeouts.to_string(),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_shape() {
+        let mut opts = ExpOpts::quick();
+        opts.trials = 2;
+        let t = run(&opts);
+        assert_eq!(t.len(), 1);
+        let row = &t.rows()[0];
+        assert_eq!(row[10], "0", "every quick trial must re-agree after the heal: {row:?}");
+        assert_eq!(row[9], fmt_f64(1.0), "global min must reclaim office: {row:?}");
+        // A window of 320 rounds against a timeout of 256 must trigger the
+        // cut-off side's detector.
+        let re: f64 = row[4].parse().expect("numeric split re-elect column");
+        assert!(re >= 1.0, "partition must cause a re-election: {row:?}");
+        let dual: f64 = row[5].parse().expect("numeric split dual column");
+        assert!(dual >= 1.0, "split brain must be visible as dual rounds: {row:?}");
+    }
+}

@@ -1,0 +1,169 @@
+//! **C4 — rolling churn: steady-state service quality under the Markov
+//! fault chain** (service mode beyond the paper's one-shot elections).
+//!
+//! Scenario: the F8 fault model — every node crashes with probability
+//! `crash` per round and recovers with probability `recover` — but instead
+//! of asking "how much slower is one election", the maintenance protocol
+//! runs for thousands of rounds and the table reports *service quality*:
+//! what fraction of rounds had exactly one live leader everyone agreed on
+//! (`stable`), no live leader (`leaderless`), or several (`dual`)?
+//!
+//! `recover` is held at 2·10⁻³ (mean outage 500 rounds, comfortably past
+//! the 256-round detection timeout) so the `crash` axis alone sets the
+//! churn intensity; the steady-state down fraction is
+//! `crash/(crash+recover)`. Re-elections are driven by the *leader's* own
+//! crash process — rate ≈ `crash · e^(−recover·timeout)` per round — so
+//! the sweep's horizon is long enough for a handful per trial at the top
+//! setting. A second block fixes the churn mix and scales `n` to 2²⁰,
+//! the F9 regime, checking that detection latency (a local staleness
+//! clock) does not grow with network size even when thousands of nodes
+//! flip state every round.
+//!
+//! Expected shape: `stable` degrades gracefully with `crash`; leaderless
+//! cost per re-election stays ≈ timeout + election time; dual exposure
+//! stays small (a recovered ex-claimant abdicates on first contact — the
+//! rejoin-grace rule); the scale block's quality columns are flat in `n`.
+
+use mtm_analysis::table::{fmt_f64, Table};
+use mtm_core::UidPool;
+use mtm_engine::runner::run_trials;
+use mtm_engine::{ActivationSchedule, ServiceConfig};
+use mtm_graph::rng::derive_seed;
+use mtm_graph::{FaultConfig, FaultyTopology, GraphFamily, StaticTopology};
+
+use crate::churn::{frac_by, mean_by, service_engine};
+use crate::opts::{ExpOpts, Scale};
+
+/// Per-round recovery probability; see the module docs.
+pub const RECOVER: f64 = 0.002;
+
+/// Per-trial measurements for one rolling-churn run.
+struct Trial {
+    re_elections: u64,
+    leaderless_rounds: u64,
+    dual_rounds: u64,
+    stable_rounds: u64,
+    final_epoch: u64,
+    agreed_at_end: bool,
+}
+
+fn trial(n: usize, crash: f64, recover: f64, timeout: u64, horizon: u64, seed: u64) -> Trial {
+    let g = GraphFamily::Expander8.build(n, derive_seed(seed, 0));
+    let n_actual = g.node_count();
+    let uids = UidPool::random(n_actual, derive_seed(seed, 10));
+    let cfg = if crash > 0.0 { FaultConfig::crashes(crash, recover) } else { FaultConfig::NONE };
+    let topo = FaultyTopology::new(StaticTopology::new(g), cfg, derive_seed(seed, 13));
+    let mut e =
+        service_engine(topo, ActivationSchedule::synchronized(n_actual), &uids, timeout, seed);
+    let out = e.run_service(&ServiceConfig::rounds(horizon));
+    Trial {
+        re_elections: out.service.re_elections,
+        leaderless_rounds: out.service.leaderless_rounds,
+        dual_rounds: out.service.dual_leader_rounds,
+        stable_rounds: out.service.stable_rounds,
+        final_epoch: out.final_epoch,
+        agreed_at_end: out.final_leader.is_some(),
+    }
+}
+
+/// One table block: a set of `(n, crash, trials, horizon)` rows sharing a
+/// timeout.
+struct Block {
+    rows: Vec<(usize, f64, usize, u64)>,
+    timeout: u64,
+}
+
+/// Run the experiment, returning the result table.
+pub fn run(opts: &ExpOpts) -> Table {
+    let blocks: Vec<Block> = match opts.scale {
+        Scale::Quick => vec![Block {
+            rows: vec![(64, 0.0, opts.trials_or(2), 800), (64, 0.002, opts.trials_or(2), 800)],
+            timeout: 128,
+        }],
+        Scale::Full => vec![
+            // Churn-intensity axis at fixed n.
+            Block {
+                rows: [0.0, 0.0002, 0.001]
+                    .iter()
+                    .map(|&c| (1024, c, opts.trials_or(5), 4000))
+                    .collect(),
+                timeout: 256,
+            },
+            // Scale axis at fixed churn: the F9 regime.
+            Block {
+                rows: vec![
+                    (1 << 14, 0.001, opts.trials_or(3).min(3), 1500),
+                    (1 << 17, 0.001, opts.trials_or(2).min(2), 1500),
+                    (1 << 20, 0.001, 1, 1500),
+                ],
+                timeout: 256,
+            },
+        ],
+    };
+    let mut table = Table::new(vec![
+        "n",
+        "crash",
+        "recover",
+        "horizon",
+        "trials",
+        "re-elect",
+        "leaderless%",
+        "dual%",
+        "stable%",
+        "final epoch",
+        "agreed@end",
+    ]);
+    for block in &blocks {
+        let timeout = block.timeout;
+        for &(n, crash, trials, horizon) in &block.rows {
+            let n_actual = GraphFamily::Expander8.build(n, 0).node_count();
+            let recover = match (crash > 0.0, opts.scale) {
+                (false, _) => 0.0,
+                // Quick runs compress the outage length with the horizon.
+                (true, Scale::Quick) => 0.004,
+                (true, Scale::Full) => RECOVER,
+            };
+            let results: Vec<Trial> =
+                run_trials(trials, opts.seed, opts.threads, move |_t, seed| {
+                    trial(n, crash, recover, timeout, horizon, seed)
+                });
+            let pct = |x: f64| fmt_f64(100.0 * x / horizon as f64);
+            table.push_row(vec![
+                n_actual.to_string(),
+                fmt_f64(crash),
+                fmt_f64(recover),
+                horizon.to_string(),
+                trials.to_string(),
+                fmt_f64(mean_by(&results, |t| t.re_elections as f64)),
+                pct(mean_by(&results, |t| t.leaderless_rounds as f64)),
+                pct(mean_by(&results, |t| t.dual_rounds as f64)),
+                pct(mean_by(&results, |t| t.stable_rounds as f64)),
+                fmt_f64(mean_by(&results, |t| t.final_epoch as f64)),
+                fmt_f64(frac_by(&results, |t| t.agreed_at_end)),
+            ]);
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_shape() {
+        let mut opts = ExpOpts::quick();
+        opts.trials = 2;
+        let t = run(&opts);
+        assert_eq!(t.len(), 2);
+        let calm = &t.rows()[0];
+        // The churn-free row anchors the table: one term, no downtime.
+        assert_eq!(calm[5], "0", "no re-elections without churn: {calm:?}");
+        assert_eq!(calm[6], "0", "no leaderless rounds without churn: {calm:?}");
+        assert_eq!(calm[9], "0", "epoch 0 holds without churn: {calm:?}");
+        assert_eq!(calm[10], fmt_f64(1.0), "churn-free run ends agreed: {calm:?}");
+        let churned = &t.rows()[1];
+        let stable: f64 = churned[8].parse().expect("numeric stable% column");
+        assert!(stable > 10.0, "churned run still serves most rounds: {churned:?}");
+    }
+}

@@ -11,7 +11,7 @@
 //! averaged across trials.
 
 use mtm_analysis::table::{fmt_f64, Table};
-use mtm_core::{BitConvergence, BlindGossip, NonSyncBitConvergence, TagConfig, UidPool};
+use mtm_core::{BitConvergence, BlindGossip, IdPair, NonSyncBitConvergence, TagConfig, UidPool};
 use mtm_engine::runner::run_trials;
 use mtm_engine::{ActivationSchedule, Engine, LeaderView, ModelParams, Protocol};
 use mtm_graph::rng::derive_seed;
@@ -28,10 +28,21 @@ fn agree_fraction<P: Protocol + LeaderView, T: DynamicTopology>(
     e.nodes().iter().filter(|p| p.leader() == winner).count() as f64 / n as f64
 }
 
+/// The eventual winner of the `(tag, uid)` ordering, or `None` when the
+/// active set is empty — the no-winner case degrades to a flat-zero curve
+/// instead of a panic deep inside `min()`.
+fn winner_uid(pairs: impl Iterator<Item = IdPair>) -> Option<u64> {
+    pairs.min().map(|p| p.uid)
+}
+
 /// One trial: agreement fraction at each checkpoint for one algorithm.
+/// An empty network yields the all-zero no-winner curve.
 fn trajectory(algo: &'static str, s: usize, checkpoints: &[u64], seed: u64) -> Vec<f64> {
     let g = mtm_graph::gen::line_of_stars(s, s);
     let n = g.node_count();
+    if n == 0 {
+        return vec![0.0; checkpoints.len()];
+    }
     let delta = g.max_degree();
     let uids = UidPool::random(n, derive_seed(seed, 10));
     let engine_seed = derive_seed(seed, 11);
@@ -70,7 +81,9 @@ fn trajectory(algo: &'static str, s: usize, checkpoints: &[u64], seed: u64) -> V
         }
         "bitconv" => {
             let nodes = BitConvergence::spawn(&uids, config, derive_seed(seed, 12));
-            let winner = nodes.iter().map(|p| p.active_pair()).min().unwrap().uid;
+            let Some(winner) = winner_uid(nodes.iter().map(|p| p.active_pair())) else {
+                return vec![0.0; checkpoints.len()];
+            };
             sample!(
                 Engine::new(
                     StaticTopology::new(g),
@@ -84,7 +97,9 @@ fn trajectory(algo: &'static str, s: usize, checkpoints: &[u64], seed: u64) -> V
         }
         "nonsync" => {
             let nodes = NonSyncBitConvergence::spawn(&uids, config, derive_seed(seed, 12));
-            let winner = nodes.iter().map(|p| p.best_pair()).min().unwrap().uid;
+            let Some(winner) = winner_uid(nodes.iter().map(|p| p.best_pair())) else {
+                return vec![0.0; checkpoints.len()];
+            };
             sample!(
                 Engine::new(
                     StaticTopology::new(g),
@@ -135,6 +150,14 @@ pub fn run(opts: &ExpOpts) -> Table {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn winner_uid_handles_empty_active_set() {
+        assert_eq!(winner_uid(std::iter::empty()), None);
+        let pairs = [IdPair { tag: 1, uid: 9 }, IdPair { tag: 0, uid: 7 }];
+        // The (tag, uid) ordering wins, not the raw UID.
+        assert_eq!(winner_uid(pairs.into_iter()), Some(7));
+    }
 
     #[test]
     fn quick_run_curves_are_monotone_ish_and_bounded() {

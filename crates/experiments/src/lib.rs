@@ -21,10 +21,15 @@
 //! | F7 | convergence trajectories per algorithm | [`exp_f7`] |
 //! | F8 | fault injection — crash churn × message loss | [`exp_f8`] |
 //! | F9 | scaling — slopes at 10⁵–10⁶ nodes on expanders | [`exp_f9`] |
+//! | C1 | service mode — flash-crowd join | [`exp_c1`] |
+//! | C2 | service mode — mass departure of the leader + successors | [`exp_c2`] |
+//! | C3 | service mode — partition and heal (split brain) | [`exp_c3`] |
+//! | C4 | service mode — rolling churn at 10⁶ nodes | [`exp_c4`] |
 //!
 //! Every experiment is a pure function of [`opts::ExpOpts`] (trials, seed,
 //! scale), prints an aligned table, and can emit CSV for EXPERIMENTS.md.
 
+pub mod churn;
 pub mod digest;
 pub mod harness;
 pub mod manifest;
@@ -35,6 +40,10 @@ pub mod registry;
 pub mod exp_a1;
 pub mod exp_a2;
 pub mod exp_a3;
+pub mod exp_c1;
+pub mod exp_c2;
+pub mod exp_c3;
+pub mod exp_c4;
 pub mod exp_f1;
 pub mod exp_f2;
 pub mod exp_f3;
@@ -59,9 +68,10 @@ pub fn run_by_id(id: &str, opts: &ExpOpts) -> Option<mtm_analysis::table::Table>
     registry::find(id).map(|e| (e.run)(opts))
 }
 
-/// Experiment ids in presentation order (paper claims T*/F*, ablations A*).
+/// Experiment ids in presentation order (paper claims T*/F*, ablations A*,
+/// service-mode churn scenarios C*).
 /// Kept in lockstep with [`registry::REGISTRY`] by its unit tests.
-pub const ALL_IDS: [&str; 18] = [
+pub const ALL_IDS: [&str; 22] = [
     "t1", "f1", "t2", "f2", "t3", "f3", "t4", "f4", "t5", "f5", "t6", "f6", "f7", "f8", "f9", "a1",
-    "a2", "a3",
+    "a2", "a3", "c1", "c2", "c3", "c4",
 ];

@@ -29,8 +29,8 @@ impl Experiment {
 }
 
 /// Every experiment, in presentation order (paper claims T*/F*, then the
-/// beyond-the-paper F8/F9 and ablations A*).
-pub static REGISTRY: [Experiment; 18] = [
+/// beyond-the-paper F8/F9, ablations A*, and service-mode churn C*).
+pub static REGISTRY: [Experiment; 22] = [
     Experiment {
         id: "t1",
         title: "Theorem VI.1 — blind gossip O((1/a)*D^2*log^2 n)",
@@ -112,6 +112,26 @@ pub static REGISTRY: [Experiment; 18] = [
         id: "a3",
         title: "Ablation — PUSH-PULL vs PUSH-only vs PULL-only",
         run: crate::exp_a3::run,
+    },
+    Experiment {
+        id: "c1",
+        title: "Service mode — flash-crowd join: settle time and takeover",
+        run: crate::exp_c1::run,
+    },
+    Experiment {
+        id: "c2",
+        title: "Service mode — mass departure: detection + re-election latency",
+        run: crate::exp_c2::run,
+    },
+    Experiment {
+        id: "c3",
+        title: "Service mode — partition and heal: split-brain exposure",
+        run: crate::exp_c3::run,
+    },
+    Experiment {
+        id: "c4",
+        title: "Service mode — rolling churn: steady-state service quality",
+        run: crate::exp_c4::run,
     },
 ];
 

@@ -67,6 +67,19 @@ pub trait DynamicTopology {
             Some(tau) => round <= 1 || (round - 1).is_multiple_of(tau),
         }
     }
+
+    /// True iff node `u` is up (radio on) at `round`. Plain topologies have
+    /// no notion of node failure and report every node up; fault wrappers
+    /// ([`crate::FaultyTopology`], [`crate::ScheduledCrashes`]) override.
+    ///
+    /// Consumed by the engine's service mode to distinguish a claimant that
+    /// can actually serve from a crashed node that merely still believes it
+    /// leads. Callers must have built the graph for `round` (via
+    /// [`graph_at`](DynamicTopology::graph_at)) before asking, so stateful
+    /// fault chains are already advanced through `round`.
+    fn is_node_up(&self, _u: NodeId, _round: u64) -> bool {
+        true
+    }
 }
 
 /// `τ = ∞`: one fixed graph forever.
@@ -486,6 +499,9 @@ impl<T: DynamicTopology + ?Sized> DynamicTopology for Box<T> {
     }
     fn may_change_at(&self, round: u64) -> bool {
         (**self).may_change_at(round)
+    }
+    fn is_node_up(&self, u: NodeId, round: u64) -> bool {
+        (**self).is_node_up(u, round)
     }
 }
 

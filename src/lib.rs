@@ -53,12 +53,13 @@ pub use mtm_graph as graph;
 pub mod prelude {
     pub use mtm_apps::{EventOrdering, LeaderConsensus, MinGossip, SizeEstimator};
     pub use mtm_core::{
-        BitConvergence, BlindGossip, IdPair, NonSyncBitConvergence, Ppush, PullOnly, PushOnly,
-        PushPull, TagConfig, UidPool,
+        BitConvergence, BlindGossip, Heartbeat, IdPair, MaintainedGossip, MaintenanceConfig,
+        NonSyncBitConvergence, Ppush, PullOnly, PushOnly, PushPull, TagConfig, UidPool,
     };
     pub use mtm_engine::{
-        rounds_after_activation, ActivationSchedule, ConnectionPolicy, Engine, LeaderView,
-        ModelParams, Protocol, RumorView, RunOutcome, RunStatus, Scan, StuckReport, Tag,
+        rounds_after_activation, ActivationSchedule, ConnectionPolicy, Engine, EpochRecord,
+        EpochView, LeaderView, ModelParams, Protocol, RumorView, RunOutcome, RunStatus, Scan,
+        ServiceConfig, ServiceMetrics, ServiceOutcome, ServiceStatus, StuckReport, Tag,
     };
     pub use mtm_graph::adversary::{CyclingTopologies, IsolatingAdversary};
     pub use mtm_graph::dynamic::{

@@ -19,5 +19,6 @@ pub mod table;
 /// A small deterministic RNG for resampling utilities.
 pub(crate) fn splitmix_rng(seed: u64) -> rand::rngs::SmallRng {
     use rand::SeedableRng;
+    // bootstrap-resampling stream from an explicit seed. mtm-lint: allow(smallrng-outside-engine)
     rand::rngs::SmallRng::seed_from_u64(seed)
 }

@@ -96,7 +96,7 @@ impl PayloadCost for MinVector {
         0
     }
     fn extra_bits(&self) -> u32 {
-        (ESTIMATOR_WIDTH * 64) as u32
+        u32::try_from(ESTIMATOR_WIDTH * 64).expect("estimator bit width fits u32")
     }
 }
 

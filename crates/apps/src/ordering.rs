@@ -39,7 +39,7 @@ pub struct OrderingMsg {
 
 impl PayloadCost for OrderingMsg {
     fn uid_count(&self) -> u32 {
-        self.unassigned.is_some() as u32 + self.share.is_some() as u32
+        u32::from(self.unassigned.is_some()) + u32::from(self.share.is_some())
     }
     fn extra_bits(&self) -> u32 {
         32 // the sequence number
@@ -91,7 +91,10 @@ impl EventOrdering {
             .iter()
             .enumerate()
             .filter(|(_, &e)| e != u64::MAX)
-            .map(|(s, &e)| Assignment { seq: s as u32, event: e })
+            .map(|(s, &e)| Assignment {
+                seq: u32::try_from(s).expect("sequence number fits u32"),
+                event: e,
+            })
             .collect()
     }
 
@@ -166,7 +169,10 @@ impl Protocol for EventOrdering {
             (0..len)
                 .map(|off| (self.cursor + off) % len)
                 .find(|&idx| self.known[idx] != u64::MAX)
-                .map(|idx| Assignment { seq: idx as u32, event: self.known[idx] })
+                .map(|idx| Assignment {
+                    seq: u32::try_from(idx).expect("sequence number fits u32"),
+                    event: self.known[idx],
+                })
         };
         let unassigned = if self.pending.is_empty() {
             None

@@ -1,0 +1,647 @@
+//! Exhaustive explicit-state exploration of the protocol × topology product
+//! automaton under a full adversary.
+//!
+//! Per round the adversary controls, and the explorer enumerates:
+//!
+//! 1. **Crashes** (behind [`CheckConfig::max_crashes`]): any subset of still-up
+//!    nodes within the remaining crash budget goes down permanently (edges to
+//!    a crashed node vanish; the node keeps running over an empty scan, which
+//!    is exactly what [`mtm_graph::faults::ScheduledCrashes`] produces).
+//! 2. **Advertise randomness**: every combination of
+//!    [`Protocol::enumerate_choices`] across nodes (nontrivial only for the
+//!    non-synchronized bit-position choice).
+//! 3. **Actions**: every combination of [`Protocol::enumerate_actions`] —
+//!    this resolves the protocols' propose/listen coins and uniform target
+//!    choices adversarially.
+//! 4. **Acceptance**: for every listener with incoming proposals, each choice
+//!    of one proposal to accept — and, behind [`CheckConfig::loss`], the
+//!    choice to accept none (adversarial proposal loss). Per-listener single
+//!    acceptance makes every enumerated accept set a matching by
+//!    construction, mirroring `SingleUniform` resolution.
+//!
+//! States are deduplicated on `(round offset mod period, canonicalized state
+//! words, crash mask)`; the stored representative keeps the *raw* first
+//! reached configuration plus a predecessor edge carrying the exact
+//! [`RoundSchedule`], so any state's shortest schedule is replayable through
+//! the real [`mtm_engine::Engine`] via [`crate::replay`].
+
+use std::collections::BTreeMap;
+
+use mtm_engine::{Action, Protocol, RoundScript, Scan, Tag};
+use mtm_graph::{Graph, NodeId};
+
+use crate::spec::CheckSpec;
+
+/// Convert a node index to a [`NodeId`] (node counts here are ≤ 6).
+pub(crate) fn nid(u: usize) -> NodeId {
+    NodeId::try_from(u).expect("node index fits NodeId")
+}
+
+/// Exploration bounds and adversary powers.
+#[derive(Clone, Copy, Debug)]
+pub struct CheckConfig {
+    /// Maximum schedule depth (rounds) to explore.
+    pub horizon: u64,
+    /// Maximum number of distinct states to store before truncating.
+    pub max_states: usize,
+    /// Allow the adversary to drop any accepted proposal (a listener may
+    /// accept none of its incoming proposals even when some arrived).
+    pub loss: bool,
+    /// Crash budget: the adversary may permanently crash up to this many
+    /// nodes, at any round boundaries it likes.
+    pub max_crashes: u32,
+}
+
+impl Default for CheckConfig {
+    fn default() -> CheckConfig {
+        CheckConfig { horizon: 64, max_states: 200_000, loss: false, max_crashes: 0 }
+    }
+}
+
+/// One round of an adversary schedule: which nodes crash at the start of the
+/// round, then the fully resolved round script.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RoundSchedule {
+    /// Nodes newly crashed at the start of this round.
+    pub crashes: Vec<NodeId>,
+    /// The resolved advertise/action/accept choices.
+    pub script: RoundScript,
+}
+
+/// Why exploration stopped before closing the state space.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Truncation {
+    /// The round horizon was reached with frontier states left.
+    Horizon,
+    /// The state cap was hit; some successors were discarded.
+    StateCap,
+}
+
+/// An invariant violation on one explored transition.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// Index of the state the violating round started from.
+    pub parent: u32,
+    /// The violating round's schedule.
+    pub schedule: RoundSchedule,
+    /// Spec-provided description.
+    pub message: String,
+}
+
+pub(crate) struct StateNode<P> {
+    /// Raw (uncanonicalized) representative configuration.
+    pub nodes: Vec<P>,
+    /// Round offset modulo the spec period.
+    pub offset: u64,
+    /// Bitmask of crashed nodes.
+    pub crashed: u64,
+    /// BFS depth = number of rounds from the initial state.
+    pub depth: u32,
+    /// Predecessor edge: `(parent state, schedule of the connecting round)`.
+    /// `None` only for the initial state.
+    pub pred: Option<(u32, RoundSchedule)>,
+}
+
+/// The explored transition system.
+pub struct Exploration<P> {
+    pub(crate) states: Vec<StateNode<P>>,
+    pub(crate) succs: Vec<Vec<u32>>,
+    /// True when the frontier emptied before both bounds: every reachable
+    /// state (up to canonicalization) has been expanded, so reachability
+    /// analyses over this graph are exhaustive.
+    pub closed: bool,
+    /// Why exploration truncated, if it did.
+    pub truncation: Option<Truncation>,
+    /// Total transitions enumerated (including duplicates).
+    pub transitions: u64,
+    /// Invariant violations found on explored transitions.
+    pub violations: Vec<Violation>,
+}
+
+impl<P> Exploration<P> {
+    /// Number of distinct stored states.
+    pub fn state_count(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Raw representative configuration of state `s`.
+    pub fn nodes_of(&self, s: u32) -> &[P] {
+        &self.states[s as usize].nodes
+    }
+
+    /// BFS depth (rounds from initial) of state `s`.
+    pub fn depth_of(&self, s: u32) -> u32 {
+        self.states[s as usize].depth
+    }
+
+    /// Crash bitmask of state `s`.
+    pub fn crashed_of(&self, s: u32) -> u64 {
+        self.states[s as usize].crashed
+    }
+
+    /// Shortest adversary schedule from the initial state to `s` (by BFS
+    /// predecessor chain; length equals `depth_of(s)`).
+    pub fn witness(&self, s: u32) -> Vec<RoundSchedule> {
+        let mut out = Vec::new();
+        let mut cur = s;
+        while let Some((p, sched)) = &self.states[cur as usize].pred {
+            out.push(sched.clone());
+            cur = *p;
+        }
+        out.reverse();
+        out
+    }
+}
+
+/// Mixed-radix odometer over `sizes`: yields every index vector `v` with
+/// `v[i] < sizes[i]`. Yields a single empty vector for empty `sizes`, and
+/// nothing if any size is zero.
+struct Combos {
+    sizes: Vec<usize>,
+    idx: Vec<usize>,
+    done: bool,
+}
+
+impl Combos {
+    fn new(sizes: Vec<usize>) -> Combos {
+        let done = sizes.contains(&0);
+        Combos { idx: vec![0; sizes.len()], sizes, done }
+    }
+}
+
+impl Iterator for Combos {
+    type Item = Vec<usize>;
+
+    fn next(&mut self) -> Option<Vec<usize>> {
+        if self.done {
+            return None;
+        }
+        let out = self.idx.clone();
+        let mut i = 0;
+        loop {
+            if i == self.sizes.len() {
+                self.done = true;
+                break;
+            }
+            self.idx[i] += 1;
+            if self.idx[i] < self.sizes[i] {
+                break;
+            }
+            self.idx[i] = 0;
+            i += 1;
+        }
+        Some(out)
+    }
+}
+
+fn state_key<S: CheckSpec>(
+    spec: &S,
+    nodes: &[S::P],
+    offset: u64,
+    crashed: u64,
+) -> (u64, u64, Vec<u64>) {
+    let mut words = Vec::with_capacity(nodes.len() * 4);
+    for p in nodes {
+        p.state_words(&mut words);
+    }
+    spec.canonicalize(&mut words);
+    (offset, crashed, words)
+}
+
+/// Raw (uncanonicalized) state words of a configuration — the quantity the
+/// Engine replay must reproduce exactly.
+pub fn raw_words<P: Protocol>(nodes: &[P]) -> Vec<u64> {
+    let mut words = Vec::with_capacity(nodes.len() * 4);
+    for p in nodes {
+        p.state_words(&mut words);
+    }
+    words
+}
+
+/// Breadth-first exhaustive exploration of `spec` on `graph` under `cfg`.
+pub fn explore<S: CheckSpec>(spec: &S, graph: &Graph, cfg: &CheckConfig) -> Exploration<S::P> {
+    let n = graph.node_count();
+    assert!(n >= 1, "empty graph");
+    assert!(n <= 6, "exhaustive exploration is limited to n <= 6 (got {n})");
+    let period = spec.period().max(1);
+    let init = spec.initial();
+    assert_eq!(init.len(), n, "spec initial() size does not match graph");
+    assert!(
+        init.iter().all(Protocol::supports_check),
+        "protocol does not implement the check interface"
+    );
+
+    let mut states: Vec<StateNode<S::P>> = Vec::new();
+    let mut succs: Vec<Vec<u32>> = Vec::new();
+    let mut index: BTreeMap<(u64, u64, Vec<u64>), u32> = BTreeMap::new();
+    let mut violations: Vec<Violation> = Vec::new();
+    let mut transitions = 0u64;
+    let mut truncation: Option<Truncation> = None;
+
+    index.insert(state_key(spec, &init, 0, 0), 0);
+    states.push(StateNode { nodes: init, offset: 0, crashed: 0, depth: 0, pred: None });
+    succs.push(Vec::new());
+
+    // Protocols draw nothing from the RNG along the check interface; this
+    // stream exists only to satisfy `on_connect`/`end_round` signatures.
+    let mut dummy_rng = mtm_graph::rng::stream_rng(0, 0);
+
+    // `states` is appended in BFS order, so the vec doubles as the queue.
+    let mut cursor = 0usize;
+    while cursor < states.len() {
+        let sid = u32::try_from(cursor).expect("state index fits u32");
+        cursor += 1;
+
+        let parent = &states[sid as usize];
+        if u64::from(parent.depth) >= cfg.horizon {
+            truncation.get_or_insert(Truncation::Horizon);
+            continue;
+        }
+        let p_nodes = parent.nodes.clone();
+        let p_offset = parent.offset;
+        let p_crashed = parent.crashed;
+        let p_depth = parent.depth;
+        // Canonical local round handed to the protocol: valid because the
+        // check interface only keys on `local_round` modulo the period.
+        let lr = p_offset + 1;
+        let round = u64::from(p_depth) + 1;
+
+        // 1. Crash choices.
+        let up: Vec<usize> = (0..n).filter(|&u| p_crashed & (1u64 << u) == 0).collect();
+        let budget = cfg.max_crashes.saturating_sub(p_crashed.count_ones());
+        let mut crash_choices: Vec<u64> = Vec::new();
+        for mask in 0u64..(1u64 << up.len()) {
+            if mask.count_ones() <= budget {
+                let mut crashed = p_crashed;
+                for (i, &u) in up.iter().enumerate() {
+                    if mask & (1u64 << i) != 0 {
+                        crashed |= 1u64 << u;
+                    }
+                }
+                crash_choices.push(crashed);
+            }
+        }
+
+        for crashed in crash_choices {
+            let new_crashes: Vec<NodeId> = (0..n)
+                .filter(|&u| crashed & (1u64 << u) != 0 && p_crashed & (1u64 << u) == 0)
+                .map(nid)
+                .collect();
+            // Neighbor lists with crashed nodes removed (a crashed node sees
+            // an empty scan and keeps stepping, matching ScheduledCrashes).
+            let nbrs: Vec<Vec<NodeId>> = (0..n)
+                .map(|u| {
+                    if crashed & (1u64 << u) != 0 {
+                        Vec::new()
+                    } else {
+                        graph
+                            .neighbors(nid(u))
+                            .iter()
+                            .copied()
+                            .filter(|&v| crashed & (1u64 << v) == 0)
+                            .collect()
+                    }
+                })
+                .collect();
+
+            // 2. Advertise choices.
+            let choice_sets: Vec<Vec<u32>> =
+                p_nodes.iter().map(|p| p.enumerate_choices(lr)).collect();
+            let choice_sizes: Vec<usize> = choice_sets.iter().map(Vec::len).collect();
+            for adv_idx in Combos::new(choice_sizes) {
+                let advertise: Vec<u32> =
+                    adv_idx.iter().enumerate().map(|(u, &i)| choice_sets[u][i]).collect();
+                let mut adv_nodes = p_nodes.clone();
+                let tags: Vec<Tag> = adv_nodes
+                    .iter_mut()
+                    .zip(&advertise)
+                    .map(|(p, &c)| p.apply_choice(lr, c))
+                    .collect();
+                let scan_tags: Vec<Vec<Tag>> = nbrs
+                    .iter()
+                    .map(|row| row.iter().map(|&v| tags[v as usize]).collect())
+                    .collect();
+                let scan = |u: usize| Scan {
+                    neighbors: &nbrs[u],
+                    tags: &scan_tags[u],
+                    round,
+                    local_round: lr,
+                };
+
+                // 3. Action choices.
+                let action_sets: Vec<Vec<Action>> =
+                    (0..n).map(|u| adv_nodes[u].enumerate_actions(&scan(u))).collect();
+                let action_sizes: Vec<usize> = action_sets.iter().map(Vec::len).collect();
+                for act_idx in Combos::new(action_sizes) {
+                    let actions: Vec<Action> =
+                        act_idx.iter().enumerate().map(|(u, &i)| action_sets[u][i]).collect();
+
+                    // 4. Acceptance choices: per listener with incoming
+                    // proposals, one proposer (+ "accept none" under loss).
+                    let mut incoming: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+                    for u in 0..n {
+                        if let Action::Propose(v) = actions[u] {
+                            if matches!(actions[v as usize], Action::Listen) {
+                                incoming[v as usize].push(nid(u));
+                            }
+                        }
+                    }
+                    let receivers: Vec<usize> =
+                        (0..n).filter(|&v| !incoming[v].is_empty()).collect();
+                    let accept_sizes: Vec<usize> = receivers
+                        .iter()
+                        .map(|&v| incoming[v].len() + usize::from(cfg.loss))
+                        .collect();
+                    for acc_idx in Combos::new(accept_sizes) {
+                        let mut accept: Vec<(NodeId, NodeId)> = Vec::new();
+                        for (ri, &v) in receivers.iter().enumerate() {
+                            if acc_idx[ri] < incoming[v].len() {
+                                accept.push((incoming[v][acc_idx[ri]], nid(v)));
+                            }
+                        }
+
+                        // Apply the resolved round.
+                        let mut next = adv_nodes.clone();
+                        for (u, node) in next.iter_mut().enumerate() {
+                            node.apply_action(&scan(u), actions[u]);
+                        }
+                        for &(a, b) in &accept {
+                            let pa = next[a as usize].payload();
+                            let pb = next[b as usize].payload();
+                            next[a as usize].on_connect(&pb, &mut dummy_rng);
+                            next[b as usize].on_connect(&pa, &mut dummy_rng);
+                        }
+                        for node in &mut next {
+                            node.end_round(lr, &mut dummy_rng);
+                        }
+                        transitions += 1;
+
+                        let schedule = RoundSchedule {
+                            crashes: new_crashes.clone(),
+                            script: RoundScript {
+                                advertise: advertise.clone(),
+                                actions: actions.clone(),
+                                accept: accept.clone(),
+                            },
+                        };
+                        if let Err(message) = spec.invariant(&p_nodes, &next) {
+                            violations.push(Violation {
+                                parent: sid,
+                                schedule: schedule.clone(),
+                                message,
+                            });
+                        }
+
+                        let offset2 = (p_offset + 1) % period;
+                        let key = state_key(spec, &next, offset2, crashed);
+                        let tid = if let Some(&t) = index.get(&key) {
+                            t
+                        } else if states.len() >= cfg.max_states {
+                            truncation = Some(Truncation::StateCap);
+                            continue;
+                        } else {
+                            let t = u32::try_from(states.len()).expect("state index fits u32");
+                            index.insert(key, t);
+                            states.push(StateNode {
+                                nodes: next,
+                                offset: offset2,
+                                crashed,
+                                depth: p_depth + 1,
+                                pred: Some((sid, schedule)),
+                            });
+                            succs.push(Vec::new());
+                            t
+                        };
+                        succs[sid as usize].push(tid);
+                    }
+                }
+            }
+        }
+    }
+
+    Exploration { states, succs, closed: truncation.is_none(), truncation, transitions, violations }
+}
+
+/// Reachability/property analysis over an [`Exploration`].
+pub struct Analysis {
+    /// Per-state: does the spec's agreement predicate hold?
+    pub agreed: Vec<bool>,
+    /// Number of agreed states.
+    pub agreed_count: usize,
+    /// Minimum-depth agreed state, if any was reached.
+    pub first_agreed: Option<u32>,
+    /// Per-state shortest distance (in rounds) to some agreed state;
+    /// `u64::MAX` marks doomed states. Only computed on closed explorations.
+    pub dist_to_agreement: Option<Vec<u64>>,
+    /// Number of doomed states (agreement unreachable). Only meaningful on
+    /// closed explorations; zero otherwise.
+    pub doomed: usize,
+    /// Minimum-depth doomed state.
+    pub first_doomed: Option<u32>,
+    /// Max over non-doomed states of the distance to agreement: the
+    /// adversary can delay agreement at most this many rounds from anywhere
+    /// (the liveness-within-bound certificate). Only on closed explorations.
+    pub max_agreement_distance: Option<u64>,
+    /// Per-state: absorbing fixed point (every infinite continuation keeps
+    /// the raw node state words frozen). Only computed on closed
+    /// explorations; empty otherwise.
+    pub stuck: Vec<bool>,
+    /// Minimum-depth *deadlock*: a stuck state that is not agreed — the
+    /// network is wedged short of agreement and no schedule can ever change
+    /// any node's state again.
+    pub first_deadlock: Option<u32>,
+    /// Number of deadlock states.
+    pub deadlocks: usize,
+}
+
+/// Analyze agreement reachability, doom, and deadlocks.
+///
+/// Doom/deadlock/liveness-bound results require a closed exploration (the
+/// successor relation must be complete to conclude anything about futures);
+/// on truncated explorations only the `agreed` layer is populated.
+pub fn analyze<S: CheckSpec>(spec: &S, ex: &Exploration<S::P>) -> Analysis {
+    let m = ex.states.len();
+    let mut agreed = vec![false; m];
+    let mut agreed_count = 0usize;
+    let mut first_agreed: Option<u32> = None;
+    for (i, st) in ex.states.iter().enumerate() {
+        if spec.agreed(&st.nodes, st.crashed) {
+            agreed[i] = true;
+            agreed_count += 1;
+            if first_agreed.is_none() {
+                // BFS order: the first hit has minimum depth.
+                first_agreed = Some(u32::try_from(i).expect("state index fits u32"));
+            }
+        }
+    }
+
+    let mut analysis = Analysis {
+        agreed,
+        agreed_count,
+        first_agreed,
+        dist_to_agreement: None,
+        doomed: 0,
+        first_doomed: None,
+        max_agreement_distance: None,
+        stuck: Vec::new(),
+        first_deadlock: None,
+        deadlocks: 0,
+    };
+    if !ex.closed {
+        return analysis;
+    }
+
+    // Reverse BFS from agreed states: dist[s] = shortest number of rounds
+    // the *adversary cannot prevent being short of* — more precisely, the
+    // shortest schedule suffix reaching agreement if the scheduler
+    // cooperates. A state with no path to agreement is doomed: no schedule
+    // whatsoever reaches agreement (possibility-liveness failure).
+    let mut rev: Vec<Vec<u32>> = vec![Vec::new(); m];
+    for (s, outs) in ex.succs.iter().enumerate() {
+        for &t in outs {
+            rev[t as usize].push(u32::try_from(s).expect("state index fits u32"));
+        }
+    }
+    let mut dist = vec![u64::MAX; m];
+    let mut queue: std::collections::VecDeque<u32> = std::collections::VecDeque::new();
+    for (i, &a) in analysis.agreed.iter().enumerate() {
+        if a {
+            dist[i] = 0;
+            queue.push_back(u32::try_from(i).expect("state index fits u32"));
+        }
+    }
+    while let Some(t) = queue.pop_front() {
+        let d = dist[t as usize];
+        for &s in &rev[t as usize] {
+            if dist[s as usize] == u64::MAX {
+                dist[s as usize] = d + 1;
+                queue.push_back(s);
+            }
+        }
+    }
+    let mut doomed = 0usize;
+    let mut first_doomed = None;
+    let mut max_dist = 0u64;
+    for (i, &d) in dist.iter().enumerate() {
+        if d == u64::MAX {
+            doomed += 1;
+            if first_doomed.is_none() {
+                first_doomed = Some(u32::try_from(i).expect("state index fits u32"));
+            }
+        } else {
+            max_dist = max_dist.max(d);
+        }
+    }
+    analysis.doomed = doomed;
+    analysis.first_doomed = first_doomed;
+    analysis.max_agreement_distance = Some(max_dist);
+    analysis.dist_to_agreement = Some(dist);
+
+    // Greatest fixpoint for "absorbing": start assuming every state is
+    // frozen forever, then strike any state with a successor that changes
+    // the raw words or that is itself not frozen. What survives is exactly
+    // the set of states all of whose infinite continuations are stutters.
+    let words: Vec<Vec<u64>> = ex.states.iter().map(|st| raw_words(&st.nodes)).collect();
+    let mut stuck = vec![true; m];
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for s in 0..m {
+            if !stuck[s] {
+                continue;
+            }
+            let frozen =
+                ex.succs[s].iter().all(|&t| stuck[t as usize] && words[t as usize] == words[s]);
+            if !frozen {
+                stuck[s] = false;
+                changed = true;
+            }
+        }
+    }
+    let mut deadlocks = 0usize;
+    let mut first_deadlock = None;
+    for (i, &st) in stuck.iter().enumerate() {
+        if st && !analysis.agreed[i] {
+            deadlocks += 1;
+            if first_deadlock.is_none() {
+                first_deadlock = Some(u32::try_from(i).expect("state index fits u32"));
+            }
+        }
+    }
+    analysis.stuck = stuck;
+    analysis.deadlocks = deadlocks;
+    analysis.first_deadlock = first_deadlock;
+    analysis
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{BlindGossipSpec, MaintainedGossipSpec, PushPullSpec};
+    use mtm_graph::gen;
+
+    #[test]
+    fn combos_enumerates_mixed_radix() {
+        let all: Vec<Vec<usize>> = Combos::new(vec![2, 3]).collect();
+        assert_eq!(all.len(), 6);
+        assert_eq!(all[0], vec![0, 0]);
+        assert_eq!(all[5], vec![1, 2]);
+        // Empty sizes yield exactly one empty combination.
+        assert_eq!(Combos::new(Vec::new()).count(), 1);
+        // A zero radix yields nothing.
+        assert_eq!(Combos::new(vec![2, 0]).count(), 0);
+    }
+
+    #[test]
+    fn blind_gossip_path3_certifies() {
+        let spec = BlindGossipSpec { uids: vec![1, 2, 3] };
+        let ex = explore(&spec, &gen::path(3), &CheckConfig::default());
+        assert!(ex.closed);
+        let an = analyze(&spec, &ex);
+        assert_eq!(an.doomed, 0, "agreement must stay reachable under every schedule");
+        assert_eq!(an.deadlocks, 0);
+        // Liveness bound on a path of 3: two trades suffice from anywhere.
+        assert!(an.max_agreement_distance.unwrap() <= 3);
+    }
+
+    #[test]
+    fn crashing_the_cut_vertex_dooms_blind_gossip() {
+        // On the path 0-1-2 the adversary can crash the middle node before
+        // the endpoints have exchanged anything; the survivors are
+        // partitioned holding different minima — a genuinely doomed state
+        // the crash-free analysis cannot see.
+        let spec = BlindGossipSpec { uids: vec![1, 2, 3] };
+        let cfg = CheckConfig { max_crashes: 1, ..CheckConfig::default() };
+        let ex = explore(&spec, &gen::path(3), &cfg);
+        assert!(ex.closed);
+        let an = analyze(&spec, &ex);
+        assert!(an.doomed > 0, "partitioning crash must doom some states");
+        // Without the crash budget the same instance is clean.
+        let ex0 = explore(&spec, &gen::path(3), &CheckConfig::default());
+        assert_eq!(analyze(&spec, &ex0).doomed, 0);
+    }
+
+    #[test]
+    fn proposal_loss_does_not_break_push_pull_liveness() {
+        let spec = PushPullSpec { n: 3, sources: 1 };
+        let cfg = CheckConfig { loss: true, ..CheckConfig::default() };
+        let ex = explore(&spec, &gen::path(3), &cfg);
+        assert!(ex.closed);
+        let an = analyze(&spec, &ex);
+        assert_eq!(an.doomed, 0);
+        assert_eq!(an.deadlocks, 0);
+    }
+
+    #[test]
+    fn maintained_gossip_horizon_exploration_keeps_epoch_invariant() {
+        let spec = MaintainedGossipSpec { uids: vec![1, 2, 3], timeout: 4 };
+        let cfg = CheckConfig { horizon: 4, ..CheckConfig::default() };
+        let ex = explore(&spec, &gen::path(3), &cfg);
+        // Epoch drift keeps the space from closing; the run truncates at the
+        // horizon with the invariant intact and agreement reached inside it.
+        assert_eq!(ex.truncation, Some(Truncation::Horizon));
+        assert!(ex.violations.is_empty());
+        let an = analyze(&spec, &ex);
+        assert!(an.first_agreed.is_some());
+    }
+}

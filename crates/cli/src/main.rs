@@ -43,6 +43,7 @@ fn main() {
         Some("spread") => cmd_spread(&args[1..]),
         Some("graph") => cmd_graph(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
+        Some("check") => mtm_check::cli::run(&args[1..]),
         Some("--help") | Some("-h") | None => {
             usage();
             0
@@ -69,6 +70,7 @@ fn usage() {
     eprintln!(
         "  mtm trace <blind|bitconv|nonsync> <family> <n> [--seed N] [--tau N] [--export CSV]"
     );
+    eprintln!("  mtm check [--certify] [--protocol NAME] [options]   (see `mtm check --help`)");
     eprintln!("  (anywhere a <family> <n> pair appears, `--graph-file PATH` loads an");
     eprintln!("   edge-list or .json topology instead)");
     eprintln!();

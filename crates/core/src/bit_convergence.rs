@@ -55,6 +55,7 @@ impl BitConvergence {
     /// One node per UID, with independent uniform `k`-bit tags derived from
     /// `tag_seed`.
     pub fn spawn(uids: &UidPool, config: TagConfig, tag_seed: u64) -> Vec<BitConvergence> {
+        // spawn-time tag sampling from an explicit seed. mtm-lint: allow(smallrng-outside-engine)
         let mut rng = SmallRng::seed_from_u64(tag_seed);
         uids.as_slice()
             .iter()
@@ -100,7 +101,8 @@ impl Protocol for BitConvergence {
             return Action::Listen;
         }
         // Bit 0: propose to a uniformly random neighbor advertising 1.
-        let ones: u32 = (0..scan.len()).filter(|&i| scan.tag_of(i) == Tag(1)).count() as u32;
+        let ones = u32::try_from((0..scan.len()).filter(|&i| scan.tag_of(i) == Tag(1)).count())
+            .expect("scan size fits u32");
         if ones == 0 {
             return Action::Listen;
         }
@@ -140,6 +142,39 @@ impl Protocol for BitConvergence {
             self.pending.uid,
             self.leader,
         ]))
+    }
+
+    fn supports_check(&self) -> bool {
+        true
+    }
+
+    fn enumerate_actions(&self, scan: &Scan<'_>) -> Vec<Action> {
+        // Forced-propose shape: a 0-bit advertiser with 1-advertising
+        // neighbors MUST propose to one of them.
+        if self.current_bit == 1 {
+            return vec![Action::Listen];
+        }
+        let eligible: Vec<Action> = (0..scan.len())
+            .filter(|&i| scan.tag_of(i) == Tag(1))
+            .map(|i| Action::Propose(scan.neighbors[i]))
+            .collect();
+        if eligible.is_empty() {
+            vec![Action::Listen]
+        } else {
+            eligible
+        }
+    }
+
+    fn state_words(&self, out: &mut Vec<u64>) {
+        // Same words as the fingerprint, unhashed: `current_bit` is scratch
+        // recomputed from `active` by every advertise.
+        out.extend_from_slice(&[
+            self.active.tag,
+            self.active.uid,
+            self.pending.tag,
+            self.pending.uid,
+            self.leader,
+        ]);
     }
 }
 

@@ -83,6 +83,23 @@ impl Protocol for BlindGossip {
     fn state_fingerprint(&self) -> Option<u64> {
         Some(mtm_engine::fingerprint::of_words(&[self.best]))
     }
+
+    fn supports_check(&self) -> bool {
+        true
+    }
+
+    fn enumerate_actions(&self, scan: &Scan<'_>) -> Vec<Action> {
+        // The coin and the neighbor pick together allow Listen or a
+        // proposal to any visible neighbor.
+        let mut actions = Vec::with_capacity(scan.len() + 1);
+        actions.push(Action::Listen);
+        actions.extend(scan.neighbors.iter().map(|&v| Action::Propose(v)));
+        actions
+    }
+
+    fn state_words(&self, out: &mut Vec<u64>) {
+        out.push(self.best);
+    }
 }
 
 impl LeaderView for BlindGossip {

@@ -22,6 +22,7 @@ impl TagConfig {
     pub fn new(n_bound: usize, beta: f64, max_degree: usize) -> TagConfig {
         assert!(n_bound >= 2, "N must be ≥ 2");
         assert!(beta >= 1.0, "β must be ≥ 1 for w.h.p. tag uniqueness");
+        // intended float->int conversion, clamped to [1, 63] right here. mtm-lint: allow(truncating-cast)
         let k = ((beta * (n_bound as f64).log2()).ceil() as u32).clamp(1, 63);
         let log_delta = ceil_log2(max_degree.max(2));
         TagConfig { k, group_len: (2 * log_delta as u64).max(2) }
@@ -41,7 +42,8 @@ impl TagConfig {
     /// round counter.
     pub fn group_of_round(&self, round: u64) -> u32 {
         debug_assert!(round >= 1);
-        (((round - 1) % self.phase_len()) / self.group_len) as u32
+        u32::try_from(((round - 1) % self.phase_len()) / self.group_len)
+            .expect("group index fits u32")
     }
 
     /// True iff `round` (1-based) is the first round of a phase.

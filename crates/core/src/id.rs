@@ -27,6 +27,7 @@ impl IdPair {
     #[inline]
     pub fn tag_bit(&self, i: u32, k: u32) -> u32 {
         debug_assert!(i < k);
+        // single-bit extraction: the value is 0 or 1. mtm-lint: allow(truncating-cast)
         ((self.tag >> (k - 1 - i)) & 1) as u32
     }
 }
@@ -54,6 +55,7 @@ pub struct UidPool {
 impl UidPool {
     /// `n` distinct random UIDs derived from `seed`.
     pub fn random(n: usize, seed: u64) -> UidPool {
+        // spawn-time uid sampling from an explicit seed. mtm-lint: allow(smallrng-outside-engine)
         let mut rng = SmallRng::seed_from_u64(seed);
         let mut set = std::collections::BTreeSet::new();
         let mut uids = Vec::with_capacity(n);

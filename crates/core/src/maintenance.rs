@@ -248,6 +248,31 @@ impl Protocol for MaintainedGossip {
     fn state_fingerprint(&self) -> Option<u64> {
         Some(mtm_engine::fingerprint::of_words(&[self.epoch, self.cand]))
     }
+
+    fn supports_check(&self) -> bool {
+        true
+    }
+
+    fn enumerate_actions(&self, scan: &Scan<'_>) -> Vec<Action> {
+        let mut actions = Vec::with_capacity(scan.len() + 1);
+        actions.push(Action::Listen);
+        actions.extend(scan.neighbors.iter().map(|&v| Action::Propose(v)));
+        actions
+    }
+
+    fn apply_action(&mut self, scan: &Scan<'_>, _action: Action) {
+        // Mirror `act`'s side effect: latch visibility for `end_round`'s
+        // isolation gate.
+        self.saw_neighbors = !scan.is_empty();
+    }
+
+    fn state_words(&self, out: &mut Vec<u64>) {
+        // The exact-state key needs the full detector state: `age` and
+        // `grace` are durable counters (deliberately excluded from the
+        // fingerprint) that determine when the detector may fire.
+        // `saw_neighbors` is per-round scratch rewritten by every act.
+        out.extend_from_slice(&[self.epoch, self.cand, self.age, self.grace]);
+    }
 }
 
 impl LeaderView for MaintainedGossip {

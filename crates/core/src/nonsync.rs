@@ -53,6 +53,7 @@ impl NonSyncBitConvergence {
 
     /// One node per UID with independent uniform `k`-bit tags.
     pub fn spawn(uids: &UidPool, config: TagConfig, tag_seed: u64) -> Vec<NonSyncBitConvergence> {
+        // spawn-time tag sampling from an explicit seed. mtm-lint: allow(smallrng-outside-engine)
         let mut rng = SmallRng::seed_from_u64(tag_seed);
         uids.as_slice()
             .iter()
@@ -103,7 +104,8 @@ impl Protocol for NonSyncBitConvergence {
         // Advertising (i, 0): propose to a uniformly random neighbor
         // advertising (i, 1).
         let target = Self::encode(self.position, 1);
-        let count: u32 = (0..scan.len()).filter(|&i| scan.tag_of(i) == target).count() as u32;
+        let count = u32::try_from((0..scan.len()).filter(|&i| scan.tag_of(i) == target).count())
+            .expect("scan size fits u32");
         if count == 0 {
             return Action::Listen;
         }
@@ -135,6 +137,56 @@ impl Protocol for NonSyncBitConvergence {
         // group start and `current_bit` follows it — both keep changing at
         // a fixed point and would mask a deadlock if digested.
         Some(mtm_engine::fingerprint::of_words(&[self.best.tag, self.best.uid]))
+    }
+
+    fn supports_check(&self) -> bool {
+        true
+    }
+
+    fn enumerate_choices(&self, local_round: u64) -> Vec<u32> {
+        // The only advertise-phase randomness in the workspace: a fresh
+        // uniform bit position at every local group start. Mid-group the
+        // position is pinned, so there is a single choice (its value is
+        // ignored by `apply_choice`).
+        if self.config.is_group_start(local_round) {
+            (0..self.config.k).collect()
+        } else {
+            vec![0]
+        }
+    }
+
+    fn apply_choice(&mut self, local_round: u64, choice: u32) -> Tag {
+        if self.config.is_group_start(local_round) {
+            debug_assert!(choice < self.config.k, "choice out of range");
+            self.position = choice;
+        }
+        self.current_bit = self.best.tag_bit(self.position, self.config.k);
+        Self::encode(self.position, self.current_bit)
+    }
+
+    fn enumerate_actions(&self, scan: &Scan<'_>) -> Vec<Action> {
+        // Forced-propose shape on (position, 0): any (position, 1)
+        // advertiser is an eligible target.
+        if self.current_bit == 1 {
+            return vec![Action::Listen];
+        }
+        let target = Self::encode(self.position, 1);
+        let eligible: Vec<Action> = (0..scan.len())
+            .filter(|&i| scan.tag_of(i) == target)
+            .map(|i| Action::Propose(scan.neighbors[i]))
+            .collect();
+        if eligible.is_empty() {
+            vec![Action::Listen]
+        } else {
+            eligible
+        }
+    }
+
+    fn state_words(&self, out: &mut Vec<u64>) {
+        // Unlike the fingerprint, the exact-state key must include
+        // `position`: it is durable across the rounds of a group and
+        // shapes which connections can form mid-group.
+        out.extend_from_slice(&[self.best.tag, self.best.uid, self.position as u64]);
     }
 }
 

@@ -73,6 +73,21 @@ impl Protocol for PushPull {
     fn state_fingerprint(&self) -> Option<u64> {
         Some(self.informed as u64)
     }
+
+    fn supports_check(&self) -> bool {
+        true
+    }
+
+    fn enumerate_actions(&self, scan: &Scan<'_>) -> Vec<Action> {
+        let mut actions = Vec::with_capacity(scan.len() + 1);
+        actions.push(Action::Listen);
+        actions.extend(scan.neighbors.iter().map(|&v| Action::Propose(v)));
+        actions
+    }
+
+    fn state_words(&self, out: &mut Vec<u64>) {
+        out.push(self.informed as u64);
+    }
 }
 
 impl RumorView for PushPull {
@@ -122,7 +137,9 @@ impl Protocol for Ppush {
             return Action::Listen;
         }
         // Informed: propose to a uniformly random neighbor advertising 1.
-        let uninformed: u32 = (0..scan.len()).filter(|&i| scan.tag_of(i) == Tag(1)).count() as u32;
+        let uninformed =
+            u32::try_from((0..scan.len()).filter(|&i| scan.tag_of(i) == Tag(1)).count())
+                .expect("scan size fits u32");
         if uninformed == 0 {
             return Action::Listen;
         }
@@ -149,6 +166,32 @@ impl Protocol for Ppush {
 
     fn state_fingerprint(&self) -> Option<u64> {
         Some(self.informed as u64)
+    }
+
+    fn supports_check(&self) -> bool {
+        true
+    }
+
+    fn enumerate_actions(&self, scan: &Scan<'_>) -> Vec<Action> {
+        // Forced-propose shape: an informed node with uninformed (tag 1)
+        // neighbors MUST propose to one of them; Listen is only available
+        // when no neighbor is eligible.
+        if !self.informed {
+            return vec![Action::Listen];
+        }
+        let eligible: Vec<Action> = (0..scan.len())
+            .filter(|&i| scan.tag_of(i) == Tag(1))
+            .map(|i| Action::Propose(scan.neighbors[i]))
+            .collect();
+        if eligible.is_empty() {
+            vec![Action::Listen]
+        } else {
+            eligible
+        }
+    }
+
+    fn state_words(&self, out: &mut Vec<u64>) {
+        out.push(self.informed as u64);
     }
 }
 

@@ -71,6 +71,30 @@ impl Protocol for PushOnly {
             self.informed |= peer.0;
         }
     }
+
+    fn supports_check(&self) -> bool {
+        true
+    }
+
+    fn enumerate_actions(&self, scan: &Scan<'_>) -> Vec<Action> {
+        if !self.informed || scan.is_empty() {
+            return vec![Action::Listen];
+        }
+        let mut actions = Vec::with_capacity(scan.len() + 1);
+        actions.push(Action::Listen);
+        actions.extend(scan.neighbors.iter().map(|&v| Action::Propose(v)));
+        actions
+    }
+
+    fn apply_action(&mut self, _scan: &Scan<'_>, _action: Action) {
+        // Mirror `act`'s side effect: only a listener absorbs this round.
+        self.absorbing = !self.informed;
+    }
+
+    fn state_words(&self, out: &mut Vec<u64>) {
+        // `absorbing` is per-round scratch rewritten by every act.
+        out.push(self.informed as u64);
+    }
 }
 
 impl RumorView for PushOnly {
@@ -127,6 +151,30 @@ impl Protocol for PullOnly {
         if self.pulling {
             self.informed |= peer.0;
         }
+    }
+
+    fn supports_check(&self) -> bool {
+        true
+    }
+
+    fn enumerate_actions(&self, scan: &Scan<'_>) -> Vec<Action> {
+        if self.informed || scan.is_empty() {
+            return vec![Action::Listen];
+        }
+        let mut actions = Vec::with_capacity(scan.len() + 1);
+        actions.push(Action::Listen);
+        actions.extend(scan.neighbors.iter().map(|&v| Action::Propose(v)));
+        actions
+    }
+
+    fn apply_action(&mut self, _scan: &Scan<'_>, action: Action) {
+        // Mirror `act`'s side effect: absorb only while pulling.
+        self.pulling = matches!(action, Action::Propose(_));
+    }
+
+    fn state_words(&self, out: &mut Vec<u64>) {
+        // `pulling` is per-round scratch rewritten by every act.
+        out.push(self.informed as u64);
     }
 }
 

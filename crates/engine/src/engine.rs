@@ -48,7 +48,7 @@ use crate::model::{Acceptance, ConnectionPolicy, ModelParams, Tag};
 use crate::protocol::{Action, LeaderView, PayloadCost, Protocol, RumorView, Scan};
 
 /// Per-node resolved action for the current round.
-#[derive(Clone, Copy, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum Slot {
     Inactive,
     Listen,
@@ -127,6 +127,23 @@ pub fn rounds_after_activation(stabilized_round: u64, last_activation: u64) -> u
     } else {
         stabilized_round - last_activation + 1
     }
+}
+
+/// One round of a fully scripted execution: the adversary's resolved
+/// choices for every phase, as enumerated and selected by the `mtm-check`
+/// model checker. Replayed with [`Engine::step_scripted`] to cross-validate
+/// checker counterexamples against the real executor.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RoundScript {
+    /// Per-node advertise choice (an element of
+    /// [`Protocol::enumerate_choices`] for that node and round).
+    pub advertise: Vec<u32>,
+    /// Per-node action (an element of [`Protocol::enumerate_actions`]).
+    pub actions: Vec<Action>,
+    /// Accepted connections as `(proposer, receiver)` pairs: a matching in
+    /// which every proposer entry proposed to exactly that receiver this
+    /// round and every receiver listened.
+    pub accept: Vec<(NodeId, NodeId)>,
 }
 
 /// Progress-tracking state for the stuck-run detector.
@@ -512,6 +529,7 @@ impl<P: Protocol, T: DynamicTopology> Engine<P, T> {
                         scan.neighbors.binary_search(&v).is_ok(),
                         "node {u} proposed to {v}, not a visible neighbor"
                     );
+                    // hot path: u < n <= u32::MAX by construction. mtm-lint: allow(truncating-cast)
                     self.proposed.push((u as NodeId, v));
                     Slot::Propose(v)
                 }
@@ -649,6 +667,169 @@ impl<P: Protocol, T: DynamicTopology> Engine<P, T> {
             if active {
                 node.end_round(lr, rng);
             }
+        }
+
+        self.metrics.rounds = round;
+        if let Some(traces) = &mut self.traces {
+            traces.push(RoundTrace {
+                round,
+                active: self.active_count,
+                proposals: self.metrics.proposals - round_proposals_before,
+                connections: self.metrics.connections - round_connections_before,
+            });
+        }
+        if self.stuck.is_some() {
+            self.update_stuck_detector(topo_may_change);
+        }
+    }
+
+    /// Execute one round following `script` instead of drawing randomness —
+    /// the scripted-adversary hook `mtm-check` uses to replay counterexample
+    /// schedules through the real executor (same phase order, payload
+    /// audits and delivery path as [`Engine::step`]).
+    ///
+    /// Requirements (asserted): the acceptance policy is
+    /// [`ConnectionPolicy::SingleUniform`], every node is active this round
+    /// (the checker explores synchronized executions only), the script's
+    /// vectors cover all nodes, every scripted proposal targets a current
+    /// neighbor, and `accept` is a matching of scripted proposals onto
+    /// listening receivers. Scripted rounds draw nothing from the per-node
+    /// RNG streams — checkable protocols keep `on_connect`/`end_round`
+    /// RNG-free — so the streams stay aligned for any unscripted rounds
+    /// around them.
+    pub fn step_scripted(&mut self, script: &RoundScript) {
+        let n = self.nodes.len();
+        assert_eq!(script.advertise.len(), n, "script advertise choices must cover all nodes");
+        assert_eq!(script.actions.len(), n, "script actions must cover all nodes");
+        assert_eq!(
+            self.params.policy,
+            ConnectionPolicy::SingleUniform,
+            "scripted rounds model the mobile model's matching-shaped acceptance"
+        );
+        self.round += 1;
+        let round = self.round;
+        let topo_may_change = self.stuck.is_some() && self.topology.may_change_at(round);
+        let graph = self.topology.graph_at(round);
+        assert_eq!(graph.node_count(), n, "topology changed node count");
+
+        let round_proposals_before = self.metrics.proposals;
+        let round_connections_before = self.metrics.connections;
+
+        // Same active-set precompute as `step`, then demand full coverage.
+        if self.all_active {
+            for lr in &mut self.local_rounds {
+                *lr += 1;
+            }
+        } else {
+            self.active_count = 0;
+            for u in 0..n {
+                if self.schedule.is_active(u, round) {
+                    self.active[u] = true;
+                    self.active_count += 1;
+                    self.local_rounds[u] = self.schedule.local_round(u, round);
+                } else {
+                    self.active[u] = false;
+                }
+            }
+            self.all_active = self.active_count == n as u64;
+        }
+        assert!(self.all_active, "scripted rounds require every node active in round {round}");
+
+        // Phase 1: advertise, resolving each node's randomness with the
+        // scripted choice.
+        let tag_bits = self.params.tag_bits;
+        for u in 0..n {
+            let tag = self.nodes[u].apply_choice(self.local_rounds[u], script.advertise[u]);
+            #[cfg(feature = "audit")]
+            self.auditor.check_tag(round, u, tag, tag_bits);
+            #[cfg(not(feature = "audit"))]
+            assert!(
+                tag.fits(tag_bits),
+                "node {u} advertised tag {tag:?} exceeding b = {tag_bits} bits"
+            );
+            self.tags[u] = tag;
+        }
+
+        // Phases 2-3: scan, then apply the scripted action.
+        for (u, nbrs) in graph.neighbor_rows().enumerate() {
+            if tag_bits > 0 {
+                self.visible_tags.clear();
+                for &v in nbrs {
+                    self.visible_tags.push(self.tags[v as usize]);
+                }
+            }
+            let scan = Scan {
+                neighbors: nbrs,
+                tags: &self.visible_tags,
+                round,
+                local_round: self.local_rounds[u],
+            };
+            let action = script.actions[u];
+            self.nodes[u].apply_action(&scan, action);
+            self.slots[u] = match action {
+                Action::Listen => Slot::Listen,
+                Action::Propose(v) => {
+                    #[cfg(feature = "audit")]
+                    self.auditor.check_proposal(round, u, v, scan.neighbors);
+                    #[cfg(not(feature = "audit"))]
+                    assert!(
+                        scan.neighbors.binary_search(&v).is_ok(),
+                        "node {u} proposed to {v}, not a visible neighbor"
+                    );
+                    self.metrics.proposals += 1;
+                    Slot::Propose(v)
+                }
+            };
+        }
+
+        // Phase 4: the scripted matching. Validate it against the scripted
+        // proposals, then account for the ones it left on the floor:
+        // rejected when the receiver was busy or chose another proposer,
+        // dropped when a listening receiver accepted nothing (the scripted
+        // adversary subsumes proposal loss).
+        debug_assert!(self.accepted.is_empty());
+        let mut receiver_took = vec![false; n];
+        let mut proposer_matched = vec![false; n];
+        for &(u, v) in &script.accept {
+            let (ui, vi) = (u as usize, v as usize);
+            assert!(ui < n && vi < n, "accepted pair ({u}, {v}) out of range");
+            assert_eq!(
+                self.slots[ui],
+                Slot::Propose(v),
+                "accepted pair ({u}, {v}) does not match a scripted proposal"
+            );
+            assert_eq!(self.slots[vi], Slot::Listen, "receiver {v} did not listen this round");
+            assert!(!receiver_took[vi], "receiver {v} accepts more than one proposal");
+            receiver_took[vi] = true;
+            proposer_matched[ui] = true;
+            self.accepted.push((u, v));
+        }
+        for (u, slot) in self.slots.iter().enumerate().take(n) {
+            if let Slot::Propose(v) = *slot {
+                if proposer_matched[u] {
+                    continue;
+                }
+                if self.slots[v as usize] == Slot::Listen && !receiver_took[v as usize] {
+                    self.metrics.dropped_proposals += 1;
+                } else {
+                    self.metrics.rejected_proposals += 1;
+                }
+            }
+        }
+        self.accepted.sort_unstable();
+        #[cfg(feature = "audit")]
+        self.auditor.check_matching(round, &self.accepted);
+        if self.connection_log.is_some() {
+            self.deliver_accepted::<true>(round);
+        } else {
+            self.deliver_accepted::<false>(round);
+        }
+        self.accepted.clear();
+
+        // Phase 5: end of round.
+        for ((&lr, node), rng) in self.local_rounds.iter().zip(&mut self.nodes).zip(&mut self.rngs)
+        {
+            node.end_round(lr, rng);
         }
 
         self.metrics.rounds = round;

@@ -43,7 +43,9 @@ pub mod service;
 
 pub use activation::ActivationSchedule;
 pub use audit::determinism_self_check;
-pub use engine::{rounds_after_activation, Engine, RunOutcome, RunStatus, StuckReport};
+pub use engine::{
+    rounds_after_activation, Engine, RoundScript, RunOutcome, RunStatus, StuckReport,
+};
 pub use metrics::{Metrics, RoundTrace, ServiceMetrics};
 pub use model::{ConnectionPolicy, ModelParams, Tag};
 pub use protocol::{Action, EpochView, LeaderView, PayloadCost, Protocol, RumorView, Scan};

@@ -9,6 +9,7 @@
 
 use mtm_graph::NodeId;
 use rand::rngs::SmallRng;
+use rand::SeedableRng;
 
 use crate::model::Tag;
 
@@ -120,6 +121,78 @@ pub trait Protocol: Send {
     fn state_fingerprint(&self) -> Option<u64> {
         None
     }
+
+    // ─── Model-checking interface (consumed by `mtm-check`) ──────────────
+    //
+    // The checker (crates/check) explores the protocol × topology product
+    // automaton exhaustively: instead of letting `advertise`/`act` draw
+    // from the per-node RNG, it enumerates every alternative the protocol
+    // could randomize over and branches on each. A protocol that opts in
+    // must satisfy two structural requirements the checker relies on:
+    //
+    // * `on_connect` and `end_round` are *deterministic* — they may not
+    //   read their RNG argument (true of every protocol in `crates/core`);
+    // * all `advertise`/`act` randomness is captured by the enumerations
+    //   below, i.e. replaying an enumerated (choice, action) pair with
+    //   `apply_choice`/`apply_action` reaches exactly the state the random
+    //   implementation could have reached.
+
+    /// True iff this protocol implements the model-checking interface
+    /// (`enumerate_choices` / `apply_choice` / `enumerate_actions` /
+    /// `apply_action` / `state_words`) and meets its determinism
+    /// requirements. Default: not checkable.
+    fn supports_check(&self) -> bool {
+        false
+    }
+
+    /// Every alternative the advertise phase (phase 1) can randomize over
+    /// this round. Most protocols advertise deterministically and return
+    /// the single choice `[0]` (the default); `NonSyncBitConvergence`
+    /// returns one entry per tag-bit position at local group starts.
+    /// Protocols whose `advertise` draws randomness MUST override both
+    /// this and [`Protocol::apply_choice`].
+    fn enumerate_choices(&self, _local_round: u64) -> Vec<u32> {
+        vec![0]
+    }
+
+    /// Deterministic advertise: apply `choice` (an element of
+    /// [`Protocol::enumerate_choices`]) and return the advertised tag,
+    /// performing exactly the state updates `advertise` would. The default
+    /// forwards to `advertise` with a throwaway RNG and is only correct
+    /// for protocols whose advertise phase draws no randomness.
+    fn apply_choice(&mut self, local_round: u64, _choice: u32) -> Tag {
+        let mut rng = SmallRng::seed_from_u64(0);
+        self.advertise(local_round, &mut rng)
+    }
+
+    /// Every action the act phase (phase 3) can randomize over, given this
+    /// scan. Coin-flip protocols return `Listen` plus one `Propose` per
+    /// visible neighbor; forced-propose protocols (PPUSH, bit convergence
+    /// on a 0-bit) return only their eligible proposals, with `Listen`
+    /// offered *only* when no neighbor is eligible — the checker must not
+    /// be able to schedule an action the protocol cannot take. The default
+    /// returns an empty set (unsupported; see
+    /// [`Protocol::supports_check`]).
+    fn enumerate_actions(&self, _scan: &Scan<'_>) -> Vec<Action> {
+        Vec::new()
+    }
+
+    /// Deterministic act: record that this node takes `action` (an element
+    /// of [`Protocol::enumerate_actions`]) this round, performing exactly
+    /// the side effects `act` would — e.g. `MaintainedGossip` latches
+    /// whether it saw neighbors, the rumor ablations set their per-round
+    /// receptivity flags. Default: no side effects.
+    fn apply_action(&mut self, _scan: &Scan<'_>, _action: Action) {}
+
+    /// Push this node's *exact* durable state onto `out`, as words. Unlike
+    /// [`Protocol::state_fingerprint`] (a hash, collisions tolerable) the
+    /// checker keys its visited-state set on these words, so they must
+    /// determine all future behaviour together with the round counter
+    /// modulo the protocol's period — include durable counters the
+    /// fingerprint elides (e.g. maintenance age/grace, the non-synchronized
+    /// protocol's current bit position) and exclude per-round scratch that
+    /// is rewritten before use. Default: pushes nothing (unsupported).
+    fn state_words(&self, _out: &mut Vec<u64>) {}
 }
 
 /// Read access to a leader-election protocol's current `leader` variable.

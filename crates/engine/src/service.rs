@@ -31,7 +31,7 @@
 //! resets the window — a frozen fingerprint under full agreement is the
 //! *goal* state, not a wedge.
 
-use mtm_graph::DynamicTopology;
+use mtm_graph::{nid, DynamicTopology};
 
 use crate::engine::{Engine, StuckReport};
 use crate::metrics::{Metrics, ServiceMetrics};
@@ -136,7 +136,7 @@ where
         let mut agreement: Option<(u64, u64)> = None;
         let mut agreed = true;
         for (u, node) in self.nodes().iter().enumerate() {
-            if !self.is_active(u) || !self.topology().is_node_up(u as u32, round) {
+            if !self.is_active(u) || !self.topology().is_node_up(nid(u), round) {
                 continue;
             }
             participants += 1;

@@ -34,6 +34,7 @@ use crate::opts::{ExpOpts, Scale};
 /// outer permutations randomize which cyclic structure any node sees.
 pub fn regular_bipartite(m: usize, d: usize, seed: u64) -> Graph {
     assert!(d >= 1 && d <= m);
+    // per-trial stream from the harness-derived seed. mtm-lint: allow(smallrng-outside-engine)
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut left_perm: Vec<u32> = (0..m as u32).collect();
     let mut right_perm: Vec<u32> = (0..m as u32).collect();

@@ -59,6 +59,7 @@ pub mod exp_t3;
 pub mod exp_t4;
 pub mod exp_t5;
 pub mod exp_t6;
+pub mod exp_v1;
 
 pub use harness::{SchedSpec, TopoSpec};
 pub use opts::ExpOpts;
@@ -71,7 +72,7 @@ pub fn run_by_id(id: &str, opts: &ExpOpts) -> Option<mtm_analysis::table::Table>
 /// Experiment ids in presentation order (paper claims T*/F*, ablations A*,
 /// service-mode churn scenarios C*).
 /// Kept in lockstep with [`registry::REGISTRY`] by its unit tests.
-pub const ALL_IDS: [&str; 22] = [
+pub const ALL_IDS: [&str; 23] = [
     "t1", "f1", "t2", "f2", "t3", "f3", "t4", "f4", "t5", "f5", "t6", "f6", "f7", "f8", "f9", "a1",
-    "a2", "a3", "c1", "c2", "c3", "c4",
+    "a2", "a3", "c1", "c2", "c3", "c4", "v1",
 ];

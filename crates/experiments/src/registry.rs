@@ -30,7 +30,7 @@ impl Experiment {
 
 /// Every experiment, in presentation order (paper claims T*/F*, then the
 /// beyond-the-paper F8/F9, ablations A*, and service-mode churn C*).
-pub static REGISTRY: [Experiment; 22] = [
+pub static REGISTRY: [Experiment; 23] = [
     Experiment {
         id: "t1",
         title: "Theorem VI.1 — blind gossip O((1/a)*D^2*log^2 n)",
@@ -132,6 +132,11 @@ pub static REGISTRY: [Experiment; 22] = [
         id: "c4",
         title: "Service mode — rolling churn: steady-state service quality",
         run: crate::exp_c4::run,
+    },
+    Experiment {
+        id: "v1",
+        title: "Model checking — n=4 certification matrix + beta=1 deadlock control",
+        run: crate::exp_v1::run,
     },
 ];
 

@@ -18,6 +18,7 @@
 //!   (e.g. a path and a star) so no single-graph intuition applies.
 
 use crate::dynamic::DynamicTopology;
+use crate::nid;
 use crate::static_graph::{Graph, GraphBuilder, NodeId};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
@@ -59,11 +60,12 @@ impl IsolatingAdversary {
 
     fn build_epoch(&self, epoch: u64) -> Graph {
         let n = self.spine + self.spine * self.points;
+        // per-epoch stream derived from the topology seed. mtm-lint: allow(smallrng-outside-engine)
         let mut rng = SmallRng::seed_from_u64(crate::rng::derive_seed(self.seed, epoch));
         // Positions: 0..spine are spine slots (in line order); the rest are
         // leaf slots, where leaf slot j belongs to star j / points. The
         // last leaf slot belongs to the last star; pin the target there.
-        let mut others: Vec<NodeId> = (0..n as NodeId).filter(|&u| u != self.target).collect();
+        let mut others: Vec<NodeId> = (0..nid(n)).filter(|&u| u != self.target).collect();
         others.shuffle(&mut rng);
         let mut assignment = others;
         assignment.push(self.target); // target takes the final leaf slot

@@ -29,6 +29,7 @@
 //!   disconnected prefix intentionally violates the connectivity assumption;
 //!   convergence is only claimed after the join.
 
+use crate::nid;
 use crate::static_graph::{Graph, GraphBuilder, NodeId};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
@@ -153,8 +154,9 @@ impl RelabelingAdversary {
 
     fn relabel(&self, epoch: u64) -> Graph {
         let n = self.base.node_count();
+        // per-epoch stream derived from the topology seed. mtm-lint: allow(smallrng-outside-engine)
         let mut rng = SmallRng::seed_from_u64(crate::rng::derive_seed(self.seed, epoch));
-        let mut perm: Vec<NodeId> = (0..n as NodeId).collect();
+        let mut perm: Vec<NodeId> = (0..nid(n)).collect();
         perm.shuffle(&mut rng);
         let mut b = GraphBuilder::with_capacity(n, self.base.edge_count());
         for (u, v) in self.base.edges() {
@@ -197,6 +199,7 @@ impl EdgeSwapAdversary {
     }
 
     fn swapped(&self, epoch: u64) -> Graph {
+        // per-epoch stream derived from the topology seed. mtm-lint: allow(smallrng-outside-engine)
         let mut rng = SmallRng::seed_from_u64(crate::rng::derive_seed(self.seed, epoch));
         for _attempt in 0..8 {
             let mut edges: Vec<(NodeId, NodeId)> = self.current.edges().collect();
@@ -285,15 +288,16 @@ impl LineOfStarsShuffle {
 
     fn shuffled(&self, epoch: u64) -> Graph {
         let n = self.spine + self.spine * self.points;
+        // per-epoch stream derived from the topology seed. mtm-lint: allow(smallrng-outside-engine)
         let mut rng = SmallRng::seed_from_u64(crate::rng::derive_seed(self.seed, epoch));
-        let mut leaves: Vec<NodeId> = (self.spine as NodeId..n as NodeId).collect();
+        let mut leaves: Vec<NodeId> = (nid(self.spine)..nid(n)).collect();
         leaves.shuffle(&mut rng);
         let mut b = GraphBuilder::with_capacity(n, n - 1);
-        for i in 1..self.spine as NodeId {
+        for i in 1..nid(self.spine) {
             b.add_edge(i - 1, i);
         }
         for (idx, &leaf) in leaves.iter().enumerate() {
-            let star = (idx / self.points) as NodeId;
+            let star = nid(idx / self.points);
             b.add_edge(star, leaf);
         }
         b.build()
@@ -339,6 +343,7 @@ pub struct WaypointMobility {
 impl WaypointMobility {
     pub fn new(n: usize, radius: f64, speed: f64, tau: u64, seed: u64) -> Self {
         assert!(n >= 1);
+        // generator stream from an explicit seed parameter. mtm-lint: allow(smallrng-outside-engine)
         let mut rng = SmallRng::seed_from_u64(seed);
         let positions: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen(), rng.gen())).collect();
         let waypoints: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen(), rng.gen())).collect();
@@ -367,7 +372,7 @@ impl WaypointMobility {
         for u in 0..n {
             for v in (u + 1)..n {
                 if Self::torus_dist(pos[u], pos[v]) <= radius {
-                    b.add_edge(u as NodeId, v as NodeId);
+                    b.add_edge(nid(u), nid(v));
                 }
             }
         }
@@ -383,7 +388,7 @@ impl WaypointMobility {
                 as usize
                 + 1;
         let mut extra = Vec::new();
-        for comp in 1..ncomp as u32 {
+        for comp in 1..nid(ncomp) {
             let mut best: (f64, NodeId, NodeId) = (f64::INFINITY, 0, 0);
             for u in 0..n {
                 if labels[u] != comp {
@@ -395,7 +400,7 @@ impl WaypointMobility {
                     }
                     let d = Self::torus_dist(pos[u], pos[v]);
                     if d < best.0 {
-                        best = (d, u as NodeId, v as NodeId);
+                        best = (d, nid(u), nid(v));
                     }
                 }
             }

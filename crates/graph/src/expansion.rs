@@ -19,6 +19,7 @@
 //! [`crate::family::GraphFamily`], validated against [`alpha_exact`] at
 //! small sizes in tests.
 
+use crate::nid;
 use crate::static_graph::{Graph, NodeId};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
@@ -39,7 +40,7 @@ pub fn boundary_size(g: &Graph, in_s: &[bool]) -> usize {
     let n = g.node_count();
     debug_assert_eq!(in_s.len(), n);
     let mut count = 0usize;
-    for v in 0..n as NodeId {
+    for v in 0..nid(n) {
         if in_s[v as usize] {
             continue;
         }
@@ -57,9 +58,8 @@ pub fn alpha_exact(g: &Graph) -> f64 {
     let n = g.node_count();
     assert!(n >= 2, "α undefined for n < 2");
     assert!(n <= 24, "alpha_exact is exponential; use the sampled bound for n > 24");
-    let masks: Vec<u64> = (0..n as NodeId)
-        .map(|u| g.neighbors(u).iter().fold(0u64, |m, &v| m | (1u64 << v)))
-        .collect();
+    let masks: Vec<u64> =
+        (0..nid(n)).map(|u| g.neighbors(u).iter().fold(0u64, |m, &v| m | (1u64 << v))).collect();
     let full: u64 = if n == 64 { !0 } else { (1u64 << n) - 1 };
     let half = n / 2;
     let mut best = f64::INFINITY;
@@ -97,6 +97,7 @@ pub fn alpha_upper_bound_sampled(g: &Graph, samples: usize, seed: u64) -> f64 {
     let n = g.node_count();
     assert!(n >= 2);
     let half = n / 2;
+    // sampling stream from an explicit seed parameter. mtm-lint: allow(smallrng-outside-engine)
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut best = f64::INFINITY;
     let mut in_s = vec![false; n];
@@ -104,7 +105,7 @@ pub fn alpha_upper_bound_sampled(g: &Graph, samples: usize, seed: u64) -> f64 {
     // BFS balls: grow from random centers, evaluating after each new node
     // joins in BFS order, which sweeps all ball radii in one pass.
     for _ in 0..samples.max(1) {
-        let center = rng.gen_range(0..n) as NodeId;
+        let center = nid(rng.gen_range(0..n));
         in_s.iter_mut().for_each(|b| *b = false);
         let order = bfs_order(g, center);
         for (taken, &u) in order.iter().enumerate() {
@@ -120,7 +121,7 @@ pub fn alpha_upper_bound_sampled(g: &Graph, samples: usize, seed: u64) -> f64 {
     }
 
     // Degree-descending prefixes (captures hub-heavy minima like stars).
-    let mut by_deg: Vec<NodeId> = (0..n as NodeId).collect();
+    let mut by_deg: Vec<NodeId> = (0..nid(n)).collect();
     by_deg.sort_by_key(|&u| std::cmp::Reverse(g.degree(u)));
     in_s.iter_mut().for_each(|b| *b = false);
     for (taken, &u) in by_deg.iter().enumerate() {
@@ -135,7 +136,7 @@ pub fn alpha_upper_bound_sampled(g: &Graph, samples: usize, seed: u64) -> f64 {
     }
 
     // Random sets + greedy descent.
-    let mut ids: Vec<NodeId> = (0..n as NodeId).collect();
+    let mut ids: Vec<NodeId> = (0..nid(n)).collect();
     for _ in 0..samples {
         let size = rng.gen_range(1..=half.max(1));
         ids.shuffle(&mut rng);

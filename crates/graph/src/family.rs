@@ -100,6 +100,7 @@ impl GraphFamily {
             }
             GraphFamily::Expander8 => gen::random_regular(n_target.max(10), 8, seed),
             GraphFamily::Hypercube => {
+                // intended float->int rounding for a degree parameter. mtm-lint: allow(truncating-cast)
                 let d = (n_target.max(2) as f64).log2().round().max(1.0) as u32;
                 gen::hypercube(d)
             }

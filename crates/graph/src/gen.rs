@@ -6,6 +6,7 @@
 //! retry or patch until connected), matching the model's assumption that the
 //! topology in each round is connected.
 
+use crate::nid;
 use crate::static_graph::{Graph, GraphBuilder, NodeId};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
@@ -14,8 +15,8 @@ use rand::{Rng, SeedableRng};
 /// Complete graph `K_n`. Vertex expansion `α ≈ 1` (well connected); `Δ = n-1`.
 pub fn clique(n: usize) -> Graph {
     let mut b = GraphBuilder::with_capacity(n, n * (n.saturating_sub(1)) / 2);
-    for u in 0..n as NodeId {
-        for v in (u + 1)..n as NodeId {
+    for u in 0..nid(n) {
+        for v in (u + 1)..nid(n) {
             b.add_edge(u, v);
         }
     }
@@ -26,7 +27,7 @@ pub fn clique(n: usize) -> Graph {
 /// `α = Θ(1/n)`.
 pub fn path(n: usize) -> Graph {
     let mut b = GraphBuilder::with_capacity(n, n.saturating_sub(1));
-    for u in 1..n as NodeId {
+    for u in 1..nid(n) {
         b.add_edge(u - 1, u);
     }
     b.build()
@@ -36,11 +37,11 @@ pub fn path(n: usize) -> Graph {
 pub fn cycle(n: usize) -> Graph {
     assert!(n != 2, "C_2 would be a multi-edge");
     let mut b = GraphBuilder::with_capacity(n, n);
-    for u in 1..n as NodeId {
+    for u in 1..nid(n) {
         b.add_edge(u - 1, u);
     }
     if n > 2 {
-        b.add_edge(n as NodeId - 1, 0);
+        b.add_edge(nid(n) - 1, 0);
     }
     b.build()
 }
@@ -51,7 +52,7 @@ pub fn cycle(n: usize) -> Graph {
 pub fn star(n: usize) -> Graph {
     assert!(n >= 1);
     let mut b = GraphBuilder::with_capacity(n, n.saturating_sub(1));
-    for u in 1..n as NodeId {
+    for u in 1..nid(n) {
         b.add_edge(0, u);
     }
     b.build()
@@ -67,12 +68,12 @@ pub fn line_of_stars(spine: usize, points: usize) -> Graph {
     assert!(spine >= 1);
     let n = spine + spine * points;
     let mut b = GraphBuilder::with_capacity(n, spine - 1 + spine * points);
-    for i in 1..spine as NodeId {
+    for i in 1..nid(spine) {
         b.add_edge(i - 1, i);
     }
     for i in 0..spine {
         for j in 0..points {
-            b.add_edge(i as NodeId, (spine + i * points + j) as NodeId);
+            b.add_edge(nid(i), nid(spine + i * points + j));
         }
     }
     b.build()
@@ -88,9 +89,9 @@ pub fn line_of_stars_sqrt(n_target: usize) -> (Graph, usize, usize) {
 /// Complete bipartite graph `K_{a,b}`: sides `0..a` and `a..a+b`.
 pub fn complete_bipartite(a: usize, b_size: usize) -> Graph {
     let mut b = GraphBuilder::with_capacity(a + b_size, a * b_size);
-    for u in 0..a as NodeId {
-        for v in 0..b_size as NodeId {
-            b.add_edge(u, a as NodeId + v);
+    for u in 0..nid(a) {
+        for v in 0..nid(b_size) {
+            b.add_edge(u, nid(a) + v);
         }
     }
     b.build()
@@ -102,7 +103,7 @@ pub fn dary_tree(n: usize, d: usize) -> Graph {
     assert!(d >= 1);
     let mut b = GraphBuilder::with_capacity(n, n.saturating_sub(1));
     for u in 1..n {
-        b.add_edge(((u - 1) / d) as NodeId, u as NodeId);
+        b.add_edge(nid((u - 1) / d), nid(u));
     }
     b.build()
 }
@@ -116,7 +117,7 @@ pub fn hypercube(d: u32) -> Graph {
         for bit in 0..d {
             let v = u ^ (1 << bit);
             if u < v {
-                b.add_edge(u as NodeId, v as NodeId);
+                b.add_edge(nid(u), nid(v));
             }
         }
     }
@@ -127,7 +128,7 @@ pub fn hypercube(d: u32) -> Graph {
 pub fn torus(rows: usize, cols: usize) -> Graph {
     assert!(rows >= 3 && cols >= 3, "torus needs both dims ≥ 3 to avoid multi-edges");
     let n = rows * cols;
-    let id = |r: usize, c: usize| (r * cols + c) as NodeId;
+    let id = |r: usize, c: usize| nid(r * cols + c);
     let mut b = GraphBuilder::with_capacity(n, 2 * n);
     for r in 0..rows {
         for c in 0..cols {
@@ -144,21 +145,21 @@ pub fn barbell(k: usize, bridge: usize) -> Graph {
     assert!(k >= 2);
     let n = 2 * k + bridge;
     let mut b = GraphBuilder::new(n);
-    for u in 0..k as NodeId {
-        for v in (u + 1)..k as NodeId {
+    for u in 0..nid(k) {
+        for v in (u + 1)..nid(k) {
             b.add_edge(u, v);
         }
     }
-    let right = (k + bridge) as NodeId;
-    for u in 0..k as NodeId {
-        for v in (u + 1)..k as NodeId {
+    let right = nid(k + bridge);
+    for u in 0..nid(k) {
+        for v in (u + 1)..nid(k) {
             b.add_edge(right + u, right + v);
         }
     }
     // Chain: clique-A node k-1 — bridge nodes — clique-B node `right`.
-    let mut prev = (k - 1) as NodeId;
+    let mut prev = nid(k - 1);
     for i in 0..bridge {
-        let x = (k + i) as NodeId;
+        let x = nid(k + i);
         b.add_edge(prev, x);
         prev = x;
     }
@@ -171,14 +172,14 @@ pub fn lollipop(k: usize, tail: usize) -> Graph {
     assert!(k >= 2);
     let n = k + tail;
     let mut b = GraphBuilder::new(n);
-    for u in 0..k as NodeId {
-        for v in (u + 1)..k as NodeId {
+    for u in 0..nid(k) {
+        for v in (u + 1)..nid(k) {
             b.add_edge(u, v);
         }
     }
-    let mut prev = (k - 1) as NodeId;
+    let mut prev = nid(k - 1);
     for i in 0..tail {
-        let x = (k + i) as NodeId;
+        let x = nid(k + i);
         b.add_edge(prev, x);
         prev = x;
     }
@@ -197,6 +198,7 @@ pub fn random_regular(n: usize, d: usize, seed: u64) -> Graph {
         assert!(n <= 1, "0-regular graph on >1 nodes is disconnected");
         return GraphBuilder::new(n).build();
     }
+    // generator stream from an explicit seed parameter. mtm-lint: allow(smallrng-outside-engine)
     let mut rng = SmallRng::seed_from_u64(seed);
     for _ in 0..1_000 {
         // Pairing (configuration) model with local swap repair: full
@@ -204,7 +206,7 @@ pub fn random_regular(n: usize, d: usize, seed: u64) -> Graph {
         // d ≥ 6, so invalid pairs are fixed by swapping endpoints with
         // random other pairs instead.
         let mut stubs: Vec<NodeId> = Vec::with_capacity(n * d);
-        for u in 0..n as NodeId {
+        for u in 0..nid(n) {
             for _ in 0..d {
                 stubs.push(u);
             }
@@ -283,10 +285,11 @@ pub fn random_regular(n: usize, d: usize, seed: u64) -> Graph {
 /// the regimes we use, `p ≥ 2·ln n / n`).
 pub fn erdos_renyi_connected(n: usize, p: f64, seed: u64) -> Graph {
     assert!((0.0..=1.0).contains(&p));
+    // generator stream from an explicit seed parameter. mtm-lint: allow(smallrng-outside-engine)
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut b = GraphBuilder::new(n);
-    for u in 0..n as NodeId {
-        for v in (u + 1)..n as NodeId {
+    for u in 0..nid(n) {
+        for v in (u + 1)..nid(n) {
             if rng.gen_bool(p) {
                 b.add_edge(u, v);
             }
@@ -303,7 +306,7 @@ pub fn erdos_renyi_connected(n: usize, p: f64, seed: u64) -> Graph {
         + 1;
     let mut reps: Vec<Vec<NodeId>> = vec![Vec::new(); ncomp];
     for (u, &l) in labels.iter().enumerate() {
-        reps[l as usize].push(u as NodeId);
+        reps[l as usize].push(nid(u));
     }
     let mut extra = Vec::new();
     for comp in reps.iter().skip(1) {
@@ -320,7 +323,7 @@ pub fn erdos_renyi_connected(n: usize, p: f64, seed: u64) -> Graph {
 pub fn dumbbell_expander(half: usize, d: usize, seed: u64) -> Graph {
     let a = random_regular(half, d, seed);
     let b = random_regular(half, d, seed ^ 0x9E37_79B9);
-    a.disjoint_union(&b).with_edges(&[(0, half as NodeId)])
+    a.disjoint_union(&b).with_edges(&[(0, nid(half))])
 }
 
 /// Barabási–Albert preferential attachment: start from a clique on `m0 =
@@ -332,21 +335,22 @@ pub fn dumbbell_expander(half: usize, d: usize, seed: u64) -> Graph {
 pub fn preferential_attachment(n: usize, m: usize, seed: u64) -> Graph {
     assert!(m >= 1, "each new node needs ≥ 1 edge");
     assert!(n > m, "need n > m");
+    // generator stream from an explicit seed parameter. mtm-lint: allow(smallrng-outside-engine)
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut b = GraphBuilder::new(n);
     // Flat endpoint list: each edge contributes both endpoints, so a
     // uniform draw from it is a degree-proportional node draw.
     let mut endpoints: Vec<NodeId> = Vec::with_capacity(2 * n * m);
     let m0 = m + 1;
-    for u in 0..m0 as NodeId {
-        for v in (u + 1)..m0 as NodeId {
+    for u in 0..nid(m0) {
+        for v in (u + 1)..nid(m0) {
             b.add_edge(u, v);
             endpoints.push(u);
             endpoints.push(v);
         }
     }
     let mut chosen: Vec<NodeId> = Vec::with_capacity(m);
-    for u in m0 as NodeId..n as NodeId {
+    for u in nid(m0)..nid(n) {
         chosen.clear();
         let mut guard = 0;
         while chosen.len() < m {
@@ -373,9 +377,9 @@ pub fn star_of_cliques(k: usize, m: usize) -> Graph {
     let n = 1 + k * m;
     let mut b = GraphBuilder::new(n);
     for c in 0..k {
-        let base = (1 + c * m) as NodeId;
-        for i in 0..m as NodeId {
-            for j in (i + 1)..m as NodeId {
+        let base = nid(1 + c * m);
+        for i in 0..nid(m) {
+            for j in (i + 1)..nid(m) {
                 b.add_edge(base + i, base + j);
             }
         }

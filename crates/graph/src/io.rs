@@ -76,8 +76,12 @@ pub fn from_edge_list(text: &str) -> Result<Graph, ParseError> {
         if parts.next().is_some() {
             return Err(ParseError::BadLine { line_no, content: raw.to_string() });
         }
+        // Reject ids that do not fit a NodeId before converting — the old
+        // `as` cast would have wrapped huge ids silently.
+        let to_node =
+            |x: u64| NodeId::try_from(x).map_err(|_| ParseError::OutOfRange { line_no, node: x });
         if u == v {
-            return Err(ParseError::SelfLoop { line_no, node: u as NodeId });
+            return Err(ParseError::SelfLoop { line_no, node: to_node(u)? });
         }
         if let Some(n) = declared_n {
             if u >= n as u64 || v >= n as u64 {
@@ -85,7 +89,7 @@ pub fn from_edge_list(text: &str) -> Result<Graph, ParseError> {
             }
         }
         max_node = max_node.max(u).max(v);
-        edges.push((u as NodeId, v as NodeId));
+        edges.push((to_node(u)?, to_node(v)?));
     }
     let n = declared_n.unwrap_or(if edges.is_empty() { 0 } else { max_node as usize + 1 });
     let mut b = GraphBuilder::with_capacity(n, edges.len());

@@ -40,4 +40,4 @@ pub mod static_graph;
 pub use dynamic::{DynamicTopology, StaticTopology};
 pub use family::GraphFamily;
 pub use faults::{FaultConfig, FaultyTopology, ScheduledCrashes};
-pub use static_graph::{Graph, GraphBuilder, NodeId};
+pub use static_graph::{nid, Graph, GraphBuilder, NodeId};

@@ -11,7 +11,8 @@
 //! reference for tests, and the exhaustive `γ` computation used to validate
 //! Lemma V.1 empirically (experiment T5).
 
-use crate::static_graph::{Graph, NodeId};
+use crate::nid;
+use crate::static_graph::Graph;
 
 /// Maximum matching size on an explicit bipartite graph given as adjacency
 /// lists from left vertices (`0..adj.len()`) to right vertices
@@ -32,7 +33,7 @@ pub fn hopcroft_karp(adj: &[Vec<u32>], right_count: usize) -> usize {
         for u in 0..nl {
             if match_l[u] == NIL {
                 dist[u] = 0;
-                queue.push_back(u as u32);
+                queue.push_back(nid(u));
             } else {
                 dist[u] = u32::MAX;
             }
@@ -52,7 +53,7 @@ pub fn hopcroft_karp(adj: &[Vec<u32>], right_count: usize) -> usize {
             break;
         }
         // DFS augmentation along layered paths.
-        for u in 0..nl as u32 {
+        for u in 0..nid(nl) {
             if match_l[u as usize] == NIL && dfs(u, adj, &mut match_l, &mut match_r, &mut dist) {
                 result += 1;
             }
@@ -100,7 +101,7 @@ pub fn cut_matching(g: &Graph, in_s: &[bool]) -> usize {
         }
     }
     let mut adj: Vec<Vec<u32>> = Vec::new();
-    for u in 0..n as NodeId {
+    for u in 0..nid(n) {
         if !in_s[u as usize] {
             continue;
         }
@@ -194,7 +195,7 @@ mod tests {
             let nl = rng.gen_range(0..7);
             let nr = rng.gen_range(0..7usize);
             let adj: Vec<Vec<u32>> =
-                (0..nl).map(|_| (0..nr as u32).filter(|_| rng.gen_bool(0.4)).collect()).collect();
+                (0..nl).map(|_| (0..nid(nr)).filter(|_| rng.gen_bool(0.4)).collect()).collect();
             assert_eq!(
                 hopcroft_karp(&adj, nr),
                 brute_force_matching(&adj, nr),

@@ -32,6 +32,7 @@ pub fn derive_seed(parent: u64, stream: u64) -> u64 {
 /// A `SmallRng` for `(parent seed, stream index)`.
 #[inline]
 pub fn stream_rng(parent: u64, stream: u64) -> SmallRng {
+    // this IS the sanctioned stream constructor. mtm-lint: allow(smallrng-outside-engine)
     SmallRng::seed_from_u64(derive_seed(parent, stream))
 }
 

@@ -8,6 +8,14 @@
 /// Dense node identifier. Node ids always form the range `0..n`.
 pub type NodeId = u32;
 
+/// Checked `usize` → [`NodeId`] conversion. Every graph this workspace
+/// builds is far below `u32::MAX` nodes, so failure is an internal bug —
+/// but an `as` cast would wrap silently instead of panicking.
+#[inline]
+pub fn nid(u: usize) -> NodeId {
+    NodeId::try_from(u).expect("node index fits NodeId")
+}
+
 /// An immutable undirected graph in CSR form.
 ///
 /// Invariants (checked by [`GraphBuilder::build`], relied on everywhere):
@@ -59,12 +67,12 @@ impl Graph {
 
     /// Maximum degree `Δ` over all nodes (0 for an empty or edgeless graph).
     pub fn max_degree(&self) -> usize {
-        (0..self.node_count() as u32).map(|u| self.degree(u)).max().unwrap_or(0)
+        (0..nid(self.node_count())).map(|u| self.degree(u)).max().unwrap_or(0)
     }
 
     /// Minimum degree over all nodes.
     pub fn min_degree(&self) -> usize {
-        (0..self.node_count() as u32).map(|u| self.degree(u)).min().unwrap_or(0)
+        (0..nid(self.node_count())).map(|u| self.degree(u)).min().unwrap_or(0)
     }
 
     /// True iff `{u, v} ∈ E`. Binary search on the sorted neighbor slice.
@@ -75,7 +83,7 @@ impl Graph {
 
     /// Iterator over all undirected edges as ordered pairs `(u, v)` with `u < v`.
     pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
-        (0..self.node_count() as u32).flat_map(move |u| {
+        (0..nid(self.node_count())).flat_map(move |u| {
             self.neighbors(u).iter().copied().filter(move |&v| u < v).map(move |v| (u, v))
         })
     }
@@ -136,7 +144,7 @@ impl Graph {
             return None;
         }
         let mut best = 0u32;
-        for u in 0..n as u32 {
+        for u in 0..nid(n) {
             let d = self.bfs_distances(u);
             for &x in &d {
                 if x == u32::MAX {
@@ -155,7 +163,7 @@ impl Graph {
         let mut label = vec![u32::MAX; n];
         let mut next = 0u32;
         let mut queue = std::collections::VecDeque::new();
-        for s in 0..n as u32 {
+        for s in 0..nid(n) {
             if label[s as usize] != u32::MAX {
                 continue;
             }
@@ -177,7 +185,7 @@ impl Graph {
     /// Disjoint union of two graphs: nodes of `other` are shifted by
     /// `self.node_count()`. Used by component-join schedules.
     pub fn disjoint_union(&self, other: &Graph) -> Graph {
-        let shift = self.node_count() as u32;
+        let shift = nid(self.node_count());
         let mut b = GraphBuilder::new(self.node_count() + other.node_count());
         for (u, v) in self.edges() {
             b.add_edge(u, v);
@@ -217,7 +225,7 @@ impl Graph {
         {
             return Err("malformed offset array".to_string());
         }
-        for u in 0..n as NodeId {
+        for u in 0..nid(n) {
             let nbrs = self.neighbors(u);
             if nbrs.windows(2).any(|w| w[0] >= w[1]) {
                 return Err(format!("neighbors of {u} not strictly sorted"));
@@ -256,7 +264,7 @@ impl Graph {
     /// The degree sequence, sorted descending. Used by rewiring adversaries
     /// to check degree preservation.
     pub fn degree_sequence(&self) -> Vec<usize> {
-        let mut d: Vec<usize> = (0..self.node_count() as u32).map(|u| self.degree(u)).collect();
+        let mut d: Vec<usize> = (0..nid(self.node_count())).map(|u| self.degree(u)).collect();
         d.sort_unstable_by(|a, b| b.cmp(a));
         d
     }

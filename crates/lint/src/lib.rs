@@ -11,7 +11,17 @@
 //! | `nondeterministic-rng` | `thread_rng`, `rand::random`, `from_entropy` | all crates |
 //! | `wall-clock` | `Instant::now`, `SystemTime` | `core`, `engine`, `apps` |
 //! | `unordered-iteration` | `HashMap`, `HashSet` | `core`, `engine`, `apps` |
-//! | `library-unwrap` | `.unwrap()` | `core`, `engine`, `apps`, `analysis`, `graph` |
+//! | `library-unwrap` | `.unwrap()` | `core`, `engine`, `apps`, `analysis`, `graph`, `check` |
+//! | `truncating-cast` | `as u8/u16/u32/i8/i16/i32/NodeId` | `core`, `engine`, `apps`, `analysis`, `graph`, `check` |
+//! | `smallrng-outside-engine` | `SmallRng::seed_from_u64/from_seed/from_rng` | all but `engine`, `vendor` |
+//!
+//! `truncating-cast` exists because a silent `as` truncation on a node id
+//! or counter corrupts simulations without failing; the sanctioned forms
+//! are `try_from(...)` with an invariant message, or an explicit
+//! annotation where truncation is the *point* (hashing, bit extraction).
+//! `smallrng-outside-engine` pins all RNG stream construction to
+//! `mtm_graph::rng::stream_rng` (or annotated spawn-time seeding), so
+//! per-node stream discipline cannot be bypassed casually.
 //!
 //! Sources under `tests/`, `benches/`, `examples/`, and `#[cfg(test)]`
 //! blocks are exempt — nondeterminism there cannot corrupt a simulation.
@@ -34,7 +44,7 @@ const SIM_CRATES: &[&str] = &["core", "engine", "apps"];
 
 /// Library crates held to the no-raw-`unwrap()` standard (the sanctioned
 /// replacement is `expect("<invariant>")` or error propagation).
-const LIBRARY_CRATES: &[&str] = &["core", "engine", "apps", "analysis", "graph"];
+const LIBRARY_CRATES: &[&str] = &["core", "engine", "apps", "analysis", "graph", "check"];
 
 /// Path components that mark test-only sources, exempt from every rule.
 const EXEMPT_DIRS: &[&str] = &["tests", "benches", "examples"];
@@ -49,11 +59,19 @@ pub enum Rule {
     WallClock,
     UnorderedIteration,
     LibraryUnwrap,
+    TruncatingCast,
+    SmallRngOutsideEngine,
 }
 
 impl Rule {
-    pub const ALL: [Rule; 4] =
-        [Rule::NondeterministicRng, Rule::WallClock, Rule::UnorderedIteration, Rule::LibraryUnwrap];
+    pub const ALL: [Rule; 6] = [
+        Rule::NondeterministicRng,
+        Rule::WallClock,
+        Rule::UnorderedIteration,
+        Rule::LibraryUnwrap,
+        Rule::TruncatingCast,
+        Rule::SmallRngOutsideEngine,
+    ];
 
     /// The rule's name, as used in `allow(...)` annotations.
     pub fn name(self) -> &'static str {
@@ -62,6 +80,8 @@ impl Rule {
             Rule::WallClock => "wall-clock",
             Rule::UnorderedIteration => "unordered-iteration",
             Rule::LibraryUnwrap => "library-unwrap",
+            Rule::TruncatingCast => "truncating-cast",
+            Rule::SmallRngOutsideEngine => "smallrng-outside-engine",
         }
     }
 
@@ -73,6 +93,12 @@ impl Rule {
             Rule::WallClock => &["Instant::now", "SystemTime"],
             Rule::UnorderedIteration => &["HashMap", "HashSet"],
             Rule::LibraryUnwrap => &[".unwrap()"],
+            Rule::TruncatingCast => {
+                &[" as u8", " as u16", " as u32", " as i8", " as i16", " as i32", " as NodeId"]
+            }
+            Rule::SmallRngOutsideEngine => {
+                &["SmallRng::seed_from_u64", "SmallRng::from_seed", "SmallRng::from_rng"]
+            }
         }
     }
 
@@ -82,7 +108,11 @@ impl Rule {
         match self {
             Rule::NondeterministicRng => true,
             Rule::WallClock | Rule::UnorderedIteration => SIM_CRATES.contains(&crate_name),
-            Rule::LibraryUnwrap => LIBRARY_CRATES.contains(&crate_name),
+            Rule::LibraryUnwrap | Rule::TruncatingCast => LIBRARY_CRATES.contains(&crate_name),
+            // The engine owns per-node stream derivation; the vendored rand
+            // crate defines SmallRng itself. Everyone else must go through
+            // `mtm_graph::rng::stream_rng` or carry an annotation.
+            Rule::SmallRngOutsideEngine => crate_name != "engine" && crate_name != "vendor",
         }
     }
 }
@@ -487,6 +517,32 @@ mod tests {
         assert_eq!(scan("crates/cli/src/main.rs", src).len(), 0);
         // expect() with an invariant message is the sanctioned form.
         assert_eq!(scan("crates/graph/src/x.rs", "maybe.expect(\"x\");\n").len(), 0);
+    }
+
+    #[test]
+    fn truncating_casts_scoped_to_library_crates() {
+        let src = "let id = idx as u32;\n";
+        assert_eq!(scan("crates/graph/src/x.rs", src)[0].rule, Rule::TruncatingCast);
+        assert_eq!(scan("crates/check/src/x.rs", src).len(), 1);
+        assert_eq!(scan("crates/cli/src/main.rs", src).len(), 0);
+        // Widening casts are fine.
+        assert_eq!(scan("crates/graph/src/x.rs", "let w = small as u64;\n").len(), 0);
+        // NodeId casts count even though NodeId is an alias.
+        assert_eq!(scan("crates/engine/src/x.rs", "let v = u as NodeId;\n").len(), 1);
+        // try_from is the sanctioned form.
+        let ok = "let id = u32::try_from(idx).expect(\"fits\");\n";
+        assert_eq!(scan("crates/graph/src/x.rs", ok).len(), 0);
+    }
+
+    #[test]
+    fn smallrng_construction_scoped_outside_engine() {
+        let src = "let rng = SmallRng::seed_from_u64(7);\n";
+        assert_eq!(scan("crates/core/src/x.rs", src)[0].rule, Rule::SmallRngOutsideEngine);
+        assert_eq!(scan("crates/cli/src/main.rs", src).len(), 1);
+        assert_eq!(scan("crates/engine/src/x.rs", src).len(), 0);
+        assert_eq!(scan("vendor/rand/src/x.rs", src).len(), 0);
+        // The sanctioned stream constructor does not match.
+        assert_eq!(scan("crates/core/src/x.rs", "let rng = stream_rng(seed, u);\n").len(), 0);
     }
 
     #[test]

@@ -12,6 +12,10 @@
 //!   `--timeout N` (0 = auto), `--churn CRASH,RECOVER`, `--loss P`,
 //!   `--crash-leader R`, `--wedge-window W`. Exits 0 on a completed
 //!   horizon, 3 when wedge diagnosis fires.
+//!
+//! `elect` and `serve` accept `--threads N` to run the round executor on
+//! N worker shards (0 = all cores). Output is bit-identical at every
+//! thread count — the sharded executor is deterministic by construction.
 //! * `mtm spread <algo> <family> <n> [opts]` — one rumor-spreading run
 //!   (`algo`: push-pull | ppush | classical).
 //! * `mtm graph <family> <n>` — print a family instance's statistics
@@ -61,10 +65,10 @@ fn usage() {
     eprintln!("usage:");
     eprintln!("  mtm experiment <id|all> [--quick|--full] [--trials N] [--seed N] [--threads N] [--csv PATH]");
     eprintln!(
-        "  mtm elect <blind|bitconv|nonsync> <family> <n> [--seed N] [--tau N] [--detect-stuck]"
+        "  mtm elect <blind|bitconv|nonsync> <family> <n> [--seed N] [--tau N] [--threads N] [--detect-stuck]"
     );
     eprintln!("  mtm serve <family> <n> [--seed N] [--rounds N] [--timeout N] [--churn C,R]");
-    eprintln!("            [--loss P] [--crash-leader ROUND] [--wedge-window W]");
+    eprintln!("            [--loss P] [--crash-leader ROUND] [--wedge-window W] [--threads N]");
     eprintln!("  mtm spread <push-pull|ppush|classical> <family> <n> [--seed N]");
     eprintln!("  mtm graph <family> <n> [--seed N] [--export PATH]");
     eprintln!(
@@ -165,6 +169,7 @@ struct RunArgs {
     max_rounds: u64,
     export: Option<String>,
     detect_stuck: bool,
+    threads: usize,
 }
 
 fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
@@ -183,6 +188,7 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
     let mut max_rounds = 500_000_000;
     let mut export = None;
     let mut detect_stuck = false;
+    let mut threads = 1usize;
     while i < args.len() {
         match args[i].as_str() {
             "--seed" => {
@@ -215,11 +221,19 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
                 export = Some(args.get(i).ok_or("--export needs a path")?.clone());
             }
             "--detect-stuck" => detect_stuck = true,
+            "--threads" => {
+                i += 1;
+                threads = args
+                    .get(i)
+                    .ok_or("--threads needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?;
+            }
             other => return Err(format!("unknown flag: {other}")),
         }
         i += 1;
     }
-    Ok(RunArgs { source, seed, tau, max_rounds, export, detect_stuck })
+    Ok(RunArgs { source, seed, tau, max_rounds, export, detect_stuck, threads })
 }
 
 fn build_topology(a: &RunArgs) -> Result<(BoxedTopology, usize, usize), String> {
@@ -270,6 +284,7 @@ fn cmd_elect(args: &[String]) -> i32 {
     macro_rules! run_elect {
         ($params:expr, $nodes:expr, $window:expr) => {{
             let mut e = Engine::new(topo, $params, sched, $nodes, a.seed);
+            e.set_threads(a.threads);
             if a.detect_stuck {
                 e.enable_stuck_detection($window);
             }
@@ -362,6 +377,7 @@ struct ServeArgs {
     loss: f64,
     crash_leader: Option<u64>,
     wedge_window: u64,
+    threads: usize,
 }
 
 fn parse_serve_args(args: &[String]) -> Result<ServeArgs, String> {
@@ -384,6 +400,7 @@ fn parse_serve_args(args: &[String]) -> Result<ServeArgs, String> {
         loss: 0.0,
         crash_leader: None,
         wedge_window: 0,
+        threads: 1,
     };
     let take = |args: &[String], i: &mut usize, flag: &str| -> Result<String, String> {
         *i += 1;
@@ -435,6 +452,11 @@ fn parse_serve_args(args: &[String]) -> Result<ServeArgs, String> {
                 a.wedge_window = take(args, &mut i, "--wedge-window")?
                     .parse()
                     .map_err(|e| format!("--wedge-window: {e}"))?;
+            }
+            "--threads" => {
+                a.threads = take(args, &mut i, "--threads")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?;
             }
             other => return Err(format!("unknown flag: {other}")),
         }
@@ -524,6 +546,7 @@ fn cmd_serve(args: &[String]) -> i32 {
         MaintainedGossip::spawn(&uids, MaintenanceConfig::new(timeout)),
         a.seed,
     );
+    e.set_threads(a.threads);
     if a.loss > 0.0 {
         e.set_proposal_loss(a.loss);
     }

@@ -1,0 +1,70 @@
+//! Same-seed determinism of the sharded executor through the real protocol
+//! stacks: a full election and a full service run must be identical at any
+//! thread count (the executor's thread count is a pure throughput knob —
+//! see the engine-semantics contract in `mtm_engine::engine`).
+
+use mtm_core::{BlindGossip, MaintainedGossip, MaintenanceConfig, UidPool};
+use mtm_engine::{ActivationSchedule, Engine, ModelParams, ServiceConfig, ServiceOutcome};
+use mtm_graph::rng::derive_seed;
+use mtm_graph::{gen, StaticTopology};
+
+const SEED: u64 = 0x0DE7_EB21;
+
+fn election_engine(seed: u64) -> Engine<BlindGossip, StaticTopology> {
+    let n = 600;
+    let graph = gen::random_regular(n, 8, derive_seed(seed, 0));
+    let uids = UidPool::random(n, derive_seed(seed, 10));
+    let nodes = BlindGossip::spawn(&uids);
+    Engine::new(
+        StaticTopology::new(graph),
+        ModelParams::mobile(0),
+        ActivationSchedule::staggered_uniform(n, 40, derive_seed(seed, 7)),
+        nodes,
+        derive_seed(seed, 11),
+    )
+}
+
+fn service_outcome(seed: u64, threads: usize) -> ServiceOutcome {
+    let n = 256;
+    let graph = gen::random_regular(n, 8, derive_seed(seed, 0));
+    let uids = UidPool::random(n, derive_seed(seed, 10));
+    let nodes = MaintainedGossip::spawn(&uids, MaintenanceConfig::new(64));
+    let mut e = Engine::new(
+        StaticTopology::new(graph),
+        ModelParams::mobile(0),
+        ActivationSchedule::synchronized(n),
+        nodes,
+        derive_seed(seed, 11),
+    );
+    e.set_threads(threads);
+    e.set_proposal_loss(0.1);
+    e.run_service(&ServiceConfig::rounds(500).with_wedge_window(128))
+}
+
+/// A full staggered-activation election (with loss) reaches the same winner
+/// in the same round with identical metrics at every thread count.
+#[test]
+fn election_is_thread_count_invariant() {
+    let mut reference = election_engine(SEED);
+    reference.set_proposal_loss(0.2);
+    let want = reference.run_to_stabilization(100_000);
+    assert!(want.winner.is_some(), "reference election failed to stabilize");
+    for threads in [2usize, 4, 8] {
+        let mut e = election_engine(SEED);
+        e.set_threads(threads);
+        e.set_proposal_loss(0.2);
+        let got = e.run_to_stabilization(100_000);
+        assert_eq!(got, want, "{threads}-thread election diverged");
+    }
+}
+
+/// A full `run_service` execution — epochs, agreement rounds, service and
+/// engine metrics — is identical at threads = 4 and threads = 1.
+#[test]
+fn run_service_is_deterministic_at_four_threads() {
+    let want = service_outcome(SEED, 1);
+    let got = service_outcome(SEED, 4);
+    assert_eq!(got, want, "4-thread service run diverged from sequential");
+    // And re-running at the same thread count replays exactly.
+    assert_eq!(service_outcome(SEED, 4), got, "same-seed service replay diverged");
+}

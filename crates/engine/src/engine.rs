@@ -2,15 +2,20 @@
 //!
 //! [`Engine`] drives a vector of [`Protocol`] nodes through the mobile (or
 //! classical) telephone model's round phases over a dynamic topology. The
-//! executor is strictly sequential within a trial (the model is a
-//! synchronous round-based system); parallelism lives one level up, across
-//! trials (see [`crate::runner`]).
+//! model is a synchronous round-based system; within a trial the executor
+//! runs either the straight-line sequential path or the sharded parallel
+//! path (see [`Engine::set_threads`] and the `parallel` module) — the two
+//! are bit-for-bit identical. Trial-level fan-out lives one level up, in
+//! [`crate::runner`].
 //!
 //! # Hot-path design
 //!
 //! All per-round state lives in workhorse buffers reused across rounds —
-//! steady-state execution performs no heap allocation. Three further
-//! mechanisms keep the per-node-round cost flat at large `n`:
+//! steady-state execution performs no heap allocation. Node state is kept
+//! struct-of-arrays (parallel `Vec`s for tags, slots, activation, local
+//! rounds, RNGs, protocol states), so a `10^8`-node engine costs ~110
+//! bytes/node and phase loops stream linearly. Three further mechanisms
+//! keep the per-node-round cost flat at large `n`:
 //!
 //! - **Active set**: activation is checked once per node per round into a
 //!   bitmap (with `local_round` cached alongside), not per phase and per
@@ -21,20 +26,33 @@
 //!   instead of being filtered into a scratch buffer; tag gathering is
 //!   skipped entirely when `tag_bits == 0`.
 //! - **Proposal arena**: incoming proposals are laid out as CSR-style
-//!   spans over one flat buffer (rebuilt each round from the `touched`
-//!   list), so proposal resolution is cache-linear with no per-receiver
-//!   vectors.
+//!   spans over one flat buffer, so proposal resolution is cache-linear
+//!   with no per-receiver vectors.
 //!
-//! # The RNG stream is part of the public contract
+//! # The per-node RNG streams are part of the public contract
 //!
 //! An execution is a pure function of `(seed, config)`, and every recorded
 //! `results/*.csv` depends on the *exact order and count* of RNG draws the
-//! engine makes: per-node draws in ascending node id within each phase,
-//! loss coins only when loss is enabled (one per proposal, in proposer
-//! order), acceptance draws per touched receiver in first-proposal order.
-//! Any optimization must preserve that stream bit-for-bit — see the
-//! trace-equivalence suite (`tests/trace_equivalence.rs`), which pins this
-//! executor against a straight-line reference implementation, and
+//! engine makes. The contract (engine semantics
+//! [`ENGINE_SEMANTICS_VERSION`]) is:
+//!
+//! - node `u` draws only from its own stream (`stream_rng(seed, u)`), in
+//!   phase order within each round — advertise, act, acceptance (receivers
+//!   draw from their *own* streams), `on_connect`, `end_round`;
+//! - loss coins are *counter-based*: proposal survival is the pure
+//!   function `counter_coin(loss_seed, round, proposer) < loss_prob`,
+//!   independent of draw order (the v1 semantics drew from one global
+//!   sequential loss stream in proposer order);
+//! - receivers resolve acceptance and take delivery in **ascending node
+//!   id** order (v1 used first-proposal order). Per-node streams are
+//!   unaffected by this ordering — it exists so a shard-partitioned
+//!   executor can merge per-shard results by concatenation.
+//!
+//! Because no draw depends on cross-node ordering, the sharded parallel
+//! path replays the sequential execution exactly. Any optimization must
+//! preserve the streams bit-for-bit — see the trace-equivalence suite
+//! (`tests/trace_equivalence.rs`), which pins both executor paths against
+//! a straight-line reference implementation at several thread counts, and
 //! [`crate::audit::determinism_self_check`].
 
 use mtm_graph::{DynamicTopology, NodeId};
@@ -46,6 +64,21 @@ use crate::activation::ActivationSchedule;
 use crate::metrics::{Metrics, RoundTrace};
 use crate::model::{Acceptance, ConnectionPolicy, ModelParams, Tag};
 use crate::protocol::{Action, LeaderView, PayloadCost, Protocol, RumorView, Scan};
+
+#[path = "parallel.rs"]
+mod parallel;
+
+/// Version tag for the engine's execution semantics — the part of the RNG
+/// contract that recorded results depend on (see the module docs). Bumped
+/// whenever a change alters any recorded table's bytes; `results/MANIFEST.json`
+/// records the version each regeneration ran under, and `regen --check`
+/// refuses to validate digests across a version mismatch.
+///
+/// - `v1`: global sequential loss stream, first-proposal receiver order.
+/// - `v2`: counter-based loss coins keyed on `(loss_seed, round, proposer)`;
+///   receivers resolve acceptance and take delivery in ascending node id.
+///   Non-lossy per-node draws are unchanged from v1.
+pub const ENGINE_SEMANTICS_VERSION: &str = "v2";
 
 /// Per-node resolved action for the current round.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -169,11 +202,16 @@ pub struct Engine<P: Protocol, T: DynamicTopology> {
     connection_log: Option<Vec<(u64, NodeId, NodeId)>>,
     stuck: Option<StuckDetector>,
     loss_prob: f64,
-    loss_rng: SmallRng,
+    // Counter-coin key for proposal loss: survival of `(round, proposer)`
+    // is `counter_coin(loss_seed, round, proposer) < loss_prob`, a pure
+    // function with no sequential state (see the module docs).
+    loss_seed: u64,
+    // Worker count for the sharded executor (1 = straight-line path).
+    threads: usize,
+    shard_scratch: Vec<parallel::ShardScratch>,
     // Workhorse buffers (reused every round).
     tags: Vec<Tag>,
     slots: Vec<Slot>,
-    touched: Vec<NodeId>,
     accepted: Vec<(NodeId, NodeId)>,
     visible: Vec<NodeId>,
     visible_tags: Vec<Tag>,
@@ -233,12 +271,13 @@ impl<P: Protocol, T: DynamicTopology> Engine<P, T> {
             connection_log: None,
             stuck: None,
             loss_prob: 0.0,
-            // Dedicated stream far above the per-node range so enabling
-            // proposal loss never perturbs node randomness.
-            loss_rng: mtm_graph::rng::stream_rng(seed, u64::MAX),
+            // Dedicated stream index far above the per-node range so
+            // enabling proposal loss never perturbs node randomness.
+            loss_seed: mtm_graph::rng::derive_seed(seed, u64::MAX),
+            threads: 1,
+            shard_scratch: Vec::new(),
             tags: vec![Tag::EMPTY; n],
             slots: vec![Slot::Inactive; n],
-            touched: Vec::new(),
             accepted: Vec::new(),
             visible: Vec::new(),
             visible_tags: Vec::new(),
@@ -339,12 +378,35 @@ impl<P: Protocol, T: DynamicTopology> Engine<P, T> {
     /// probability `prob` before reaching its receiver (the proposer still
     /// forfeits its round — its radio was committed to sending). Dropped
     /// proposals count in [`Metrics::dropped_proposals`], never as
-    /// rejections or connections. Loss coins come from a dedicated seed
-    /// stream, so the run stays a pure function of `(seed, config)` and
-    /// node randomness is untouched.
+    /// rejections or connections. Loss coins are counter-based draws keyed
+    /// on a dedicated seed (see [`mtm_graph::rng::counter_coin`]), so the
+    /// run stays a pure function of `(seed, config)` and node randomness
+    /// is untouched.
     pub fn set_proposal_loss(&mut self, prob: f64) {
         assert!((0.0..=1.0).contains(&prob), "loss probability must be in [0, 1], got {prob}");
         self.loss_prob = prob;
+    }
+
+    /// Set the worker count for the sharded round executor (`0` means "use
+    /// [`std::thread::available_parallelism`]"). The executor is bit-for-bit
+    /// deterministic: any thread count produces the identical execution, so
+    /// this is purely a throughput knob. With `threads ≤ 1` (the default)
+    /// rounds run on the calling thread.
+    ///
+    /// The sharded path covers [`ConnectionPolicy::SingleUniform`] (the
+    /// mobile telephone model); [`ConnectionPolicy::AcceptAll`] rounds and
+    /// [`Engine::step_scripted`] always run sequentially.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = if threads == 0 {
+            std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+        } else {
+            threads
+        };
+    }
+
+    /// The configured worker count (see [`Engine::set_threads`]).
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// Number of nodes.
@@ -419,6 +481,20 @@ impl<P: Protocol, T: DynamicTopology> Engine<P, T> {
 
     /// Execute one full round (all five phases).
     pub fn step(&mut self) {
+        // The sharded path covers the mobile model's matching-shaped
+        // acceptance; AcceptAll (classical model, sequential intra-round
+        // interactions) keeps the straight-line path. Both paths are
+        // bit-for-bit identical where they overlap.
+        if self.threads > 1 && self.params.policy == ConnectionPolicy::SingleUniform {
+            self.step_parallel();
+        } else {
+            self.step_sequential();
+        }
+    }
+
+    /// The straight-line round executor: the reference the sharded path is
+    /// pinned against (`tests/trace_equivalence.rs`).
+    fn step_sequential(&mut self) {
         self.round += 1;
         let round = self.round;
         let n = self.nodes.len();
@@ -536,19 +612,19 @@ impl<P: Protocol, T: DynamicTopology> Engine<P, T> {
             };
         }
 
-        // Phase 4: collect surviving proposals (loss coins drawn in
-        // proposer order, only when loss is enabled), then lay them out as
-        // one CSR span per touched receiver in the flat arena.
-        debug_assert!(self.touched.is_empty() && self.proposal_pairs.is_empty());
+        // Phase 4: collect surviving proposals (loss coins are pure
+        // counter draws, evaluated only when loss is enabled), then lay
+        // them out as one CSR span per receiver in the flat arena.
+        debug_assert!(self.proposal_pairs.is_empty());
         self.metrics.proposals += self.proposed.len() as u64;
         if self.loss_prob > 0.0 {
             Self::collect_proposals::<true>(
                 &self.slots,
                 &self.proposed,
                 self.loss_prob,
-                &mut self.loss_rng,
+                self.loss_seed,
+                round,
                 &mut self.metrics,
-                &mut self.touched,
                 &mut self.incoming_len,
                 &mut self.proposal_pairs,
             );
@@ -557,9 +633,9 @@ impl<P: Protocol, T: DynamicTopology> Engine<P, T> {
                 &self.slots,
                 &self.proposed,
                 self.loss_prob,
-                &mut self.loss_rng,
+                self.loss_seed,
+                round,
                 &mut self.metrics,
-                &mut self.touched,
                 &mut self.incoming_len,
                 &mut self.proposal_pairs,
             );
@@ -570,10 +646,12 @@ impl<P: Protocol, T: DynamicTopology> Engine<P, T> {
         if self.arena.len() < self.proposal_pairs.len() {
             self.arena.resize(self.proposal_pairs.len(), 0);
         }
+        // Dense prefix-sum: one cache-linear pass over two u32 arrays
+        // (lengths are nonzero only for receivers with proposals).
         let mut cursor = 0u32;
-        for &v in &self.touched {
-            self.incoming_start[v as usize] = cursor;
-            cursor += self.incoming_len[v as usize];
+        for (start, &len) in self.incoming_start.iter_mut().zip(&self.incoming_len) {
+            *start = cursor;
+            cursor += len;
         }
         // Scatter; pairs are in ascending proposer order, so each span
         // stays proposer-sorted. Afterwards `incoming_start[v]` points one
@@ -585,14 +663,20 @@ impl<P: Protocol, T: DynamicTopology> Engine<P, T> {
         }
 
         // Phase 4a: decide which proposals are accepted (may need the
-        // round graph for the selection-permutation device), then
-        // Phase 4b: perform the payload exchanges.
+        // round graph for the selection-permutation device), receivers in
+        // ascending node id — the canonical order the sharded executor's
+        // shard-concatenation merge reproduces. Then Phase 4b: perform the
+        // payload exchanges.
         debug_assert!(self.accepted.is_empty());
-        let touched = std::mem::take(&mut self.touched);
-        for &v in &touched {
-            let vi = v as usize;
-            let end = self.incoming_start[vi] as usize;
+        for vi in 0..n {
             let k = self.incoming_len[vi] as usize;
+            if k == 0 {
+                continue;
+            }
+            self.incoming_len[vi] = 0;
+            // receivers are node ids: vi < n <= u32::MAX. mtm-lint: allow(truncating-cast)
+            let v = vi as NodeId;
+            let end = self.incoming_start[vi] as usize;
             let incoming = &self.arena[end - k..end];
             match self.params.policy {
                 ConnectionPolicy::SingleUniform => {
@@ -642,10 +726,7 @@ impl<P: Protocol, T: DynamicTopology> Engine<P, T> {
                     }
                 }
             }
-            self.incoming_len[vi] = 0;
         }
-        self.touched = touched;
-        self.touched.clear();
         self.proposal_pairs.clear();
         #[cfg(feature = "audit")]
         if self.params.policy == ConnectionPolicy::SingleUniform {
@@ -849,32 +930,32 @@ impl<P: Protocol, T: DynamicTopology> Engine<P, T> {
     /// Phase-4 proposal collection over the scan phase's `proposed` list
     /// (already in ascending proposer order), monomorphized over loss
     /// injection so the loss-free common case carries no per-proposal
-    /// branch or RNG call. `LOSSY` must equal `loss_prob > 0.0`: the loss
-    /// stream advances exactly once per proposal when loss is enabled and
-    /// never otherwise (part of the RNG contract). Takes fields rather
-    /// than `&mut self` because the caller still holds the round graph
-    /// borrow. The caller accounts `metrics.proposals`.
+    /// branch or coin evaluation. `LOSSY` must equal `loss_prob > 0.0`.
+    /// Survival of a proposal is the pure counter draw
+    /// `counter_coin(loss_seed, round, proposer) < loss_prob` — no
+    /// sequential state, so evaluation order is irrelevant (part of the
+    /// RNG contract; the sharded executor draws the same coins at scan
+    /// time). Takes fields rather than `&mut self` because the caller
+    /// still holds the round graph borrow. The caller accounts
+    /// `metrics.proposals`.
     #[allow(clippy::too_many_arguments)]
     fn collect_proposals<const LOSSY: bool>(
         slots: &[Slot],
         proposed: &[(NodeId, NodeId)],
         loss_prob: f64,
-        loss_rng: &mut SmallRng,
+        loss_seed: u64,
+        round: u64,
         metrics: &mut Metrics,
-        touched: &mut Vec<NodeId>,
         incoming_len: &mut [u32],
         proposal_pairs: &mut Vec<(NodeId, NodeId)>,
     ) {
         for &(u, v) in proposed {
-            if LOSSY && loss_rng.gen_bool(loss_prob) {
+            if LOSSY && mtm_graph::rng::counter_coin(loss_seed, round, u as u64) < loss_prob {
                 metrics.dropped_proposals += 1;
                 continue;
             }
             let vi = v as usize;
             if slots[vi] == Slot::Listen {
-                if incoming_len[vi] == 0 {
-                    touched.push(v);
-                }
                 incoming_len[vi] += 1;
                 proposal_pairs.push((v, u));
             } else {

@@ -45,6 +45,7 @@ pub use activation::ActivationSchedule;
 pub use audit::determinism_self_check;
 pub use engine::{
     rounds_after_activation, Engine, RoundScript, RunOutcome, RunStatus, StuckReport,
+    ENGINE_SEMANTICS_VERSION,
 };
 pub use metrics::{Metrics, RoundTrace, ServiceMetrics};
 pub use model::{ConnectionPolicy, ModelParams, Tag};

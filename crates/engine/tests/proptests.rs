@@ -65,6 +65,46 @@ fn engine_deterministic_for_any_seed() {
     });
 }
 
+/// The sharded executor is the sequential executor: for any random
+/// (topology, activation, loss, seed) configuration, every thread count
+/// yields the same traces, metrics, and final protocol state.
+#[test]
+fn sharded_executor_matches_sequential_for_any_config() {
+    run_cases(0x5AAD, 16, |_case, rng| {
+        let seed = rng.gen::<u64>();
+        let n = 2 * rng.gen_range(5..20usize);
+        let degree = rng.gen_range(2..5usize);
+        let graph = gen::random_regular(n, degree, rng.gen::<u64>());
+        let loss = if rng.gen_bool(0.5) { rng.gen_range(0.05..0.4) } else { 0.0 };
+        let sched = if rng.gen_bool(0.5) {
+            ActivationSchedule::synchronized(n)
+        } else {
+            ActivationSchedule::explicit((0..n).map(|_| rng.gen_range(1..20u64)).collect())
+        };
+        let run = |threads: usize| {
+            let nodes: Vec<Spread> = (0..n as u64).map(|u| Spread { best: u + 3 }).collect();
+            let mut e = Engine::new(
+                StaticTopology::new(graph.clone()),
+                ModelParams::mobile(0),
+                sched.clone(),
+                nodes,
+                seed,
+            );
+            e.set_threads(threads);
+            if loss > 0.0 {
+                e.set_proposal_loss(loss);
+            }
+            e.enable_tracing();
+            e.run_rounds(60);
+            (e.metrics(), e.traces().to_vec(), e.nodes().iter().map(|p| p.best).collect::<Vec<_>>())
+        };
+        let sequential = run(1);
+        for threads in [2usize, 4, 8] {
+            assert_eq!(run(threads), sequential, "threads={threads} diverged from sequential");
+        }
+    });
+}
+
 #[test]
 fn conservation_under_arbitrary_activation() {
     run_cases(0xE702, 24, |_case, rng| {

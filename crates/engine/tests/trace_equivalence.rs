@@ -2,15 +2,18 @@
 //! reference implementation of the model's round structure.
 //!
 //! [`Engine::step`] earns its speed from an active-set bitmap, a zero-copy
-//! scan fast path, and a flat proposal arena — none of which may change a
-//! single observable bit, because the RNG consumption order is part of the
-//! public contract (every recorded `results/*.csv` depends on it). The
-//! reference executor here is deliberately naive: it re-queries the
-//! activation schedule in every phase, filters visible neighbors into fresh
-//! `Vec`s, and keeps incoming proposals as one `Vec` per receiver. The
-//! property: across random (topology, schedule, tag_bits, loss, policy,
-//! acceptance, seed) configurations, engine and reference produce identical
-//! round traces, connection logs, metrics, and final node states.
+//! scan fast path, a flat proposal arena, and a sharded worker-pool path —
+//! none of which may change a single observable bit, because the RNG
+//! consumption order is part of the public contract (every recorded
+//! `results/*.csv` depends on it; engine semantics v2, see
+//! [`mtm_engine::ENGINE_SEMANTICS_VERSION`]). The reference executor here
+//! is deliberately naive: it re-queries the activation schedule in every
+//! phase, filters visible neighbors into fresh `Vec`s, and keeps incoming
+//! proposals as one `Vec` per receiver. The property: across random
+//! (topology, schedule, tag_bits, loss, policy, acceptance, seed)
+//! configurations — and at every thread count in {1, 2, 4, 8} — engine and
+//! reference produce identical round traces, connection logs, metrics, and
+//! final node states.
 
 // The reference executor is written in deliberately plain indexed style —
 // it should read like the model's pseudocode, not like optimized Rust.
@@ -115,7 +118,7 @@ struct Reference<T: DynamicTopology> {
     nodes: Vec<Chatty>,
     rngs: Vec<SmallRng>,
     loss_prob: f64,
-    loss_rng: SmallRng,
+    loss_seed: u64,
     round: u64,
     traces: Vec<RoundTrace>,
     connection_log: Vec<(u64, NodeId, NodeId)>,
@@ -142,7 +145,7 @@ impl<T: DynamicTopology> Reference<T> {
             nodes,
             rngs: (0..n as u64).map(|u| mtm_graph::rng::stream_rng(seed, u)).collect(),
             loss_prob,
-            loss_rng: mtm_graph::rng::stream_rng(seed, u64::MAX),
+            loss_seed: mtm_graph::rng::derive_seed(seed, u64::MAX),
             round: 0,
             traces: Vec::new(),
             connection_log: Vec::new(),
@@ -208,22 +211,22 @@ impl<T: DynamicTopology> Reference<T> {
             });
         }
 
-        // Phase 4: proposals land (loss coins in proposer order, only when
-        // loss is enabled); receivers collect them in one Vec each.
+        // Phase 4: proposals land (each proposal's loss coin is the pure
+        // counter draw of engine semantics v2, evaluated only when loss is
+        // enabled); receivers collect them in one Vec each.
         let mut incoming: Vec<Vec<NodeId>> = vec![Vec::new(); n];
-        let mut first_proposal_order: Vec<NodeId> = Vec::new();
         for u in 0..n {
             if let Some(Some(v)) = decisions[u] {
                 self.proposals += 1;
-                if self.loss_prob > 0.0 && self.loss_rng.gen_bool(self.loss_prob) {
+                if self.loss_prob > 0.0
+                    && mtm_graph::rng::counter_coin(self.loss_seed, round, u as u64)
+                        < self.loss_prob
+                {
                     self.dropped += 1;
                     continue;
                 }
                 let vi = v as usize;
                 if decisions[vi] == Some(None) {
-                    if incoming[vi].is_empty() {
-                        first_proposal_order.push(v);
-                    }
                     incoming[vi].push(u as NodeId);
                 } else {
                     self.rejected += 1;
@@ -231,10 +234,14 @@ impl<T: DynamicTopology> Reference<T> {
             }
         }
 
-        // Phase 4a: each receiver resolves its proposals.
+        // Phase 4a: each receiver resolves its proposals, in ascending
+        // node id (the canonical v2 delivery order).
         let mut accepted: Vec<(NodeId, NodeId)> = Vec::new();
-        for &v in &first_proposal_order {
-            let vi = v as usize;
+        for vi in 0..n {
+            if incoming[vi].is_empty() {
+                continue;
+            }
+            let v = vi as NodeId;
             let inc = &incoming[vi];
             match self.params.policy {
                 ConnectionPolicy::SingleUniform => {
@@ -314,6 +321,7 @@ impl<T: DynamicTopology> Reference<T> {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_engine<T: DynamicTopology>(
     topology: T,
     params: ModelParams,
@@ -322,10 +330,12 @@ fn run_engine<T: DynamicTopology>(
     seed: u64,
     loss_prob: f64,
     rounds: u64,
+    threads: usize,
 ) -> Observed {
     let mut e = Engine::new(topology, params, schedule, nodes, seed);
     e.enable_tracing();
     e.enable_connection_log();
+    e.set_threads(threads);
     if loss_prob > 0.0 {
         e.set_proposal_loss(loss_prob);
     }
@@ -396,10 +406,22 @@ fn optimized_step_matches_reference_executor() {
             .map(|u| Chatty { tag_bits: cfg.tag_bits, state: u.wrapping_mul(0xA5A5_A5A5) ^ 1 })
             .collect();
 
-        let (got, want) = if let Some(tau) = cfg.dynamic_tau {
+        // One reference run, checked against the engine at every thread
+        // count — including 2/4/8 on a sharded path whose shard boundaries
+        // differ each time.
+        if let Some(tau) = cfg.dynamic_tau {
             let topo = || RelabelingAdversary::new(cfg.graph.clone(), tau, cfg.seed ^ 0xD15C);
-            (
-                run_engine(
+            let want = Reference::new(
+                topo(),
+                cfg.params,
+                cfg.schedule.clone(),
+                nodes.clone(),
+                cfg.seed,
+                cfg.loss_prob,
+            )
+            .run(cfg.rounds);
+            for threads in [1usize, 2, 4, 8] {
+                let got = run_engine(
                     topo(),
                     cfg.params,
                     cfg.schedule.clone(),
@@ -407,21 +429,28 @@ fn optimized_step_matches_reference_executor() {
                     cfg.seed,
                     cfg.loss_prob,
                     cfg.rounds,
-                ),
-                Reference::new(
-                    topo(),
-                    cfg.params,
-                    cfg.schedule.clone(),
-                    nodes,
-                    cfg.seed,
-                    cfg.loss_prob,
-                )
-                .run(cfg.rounds),
-            )
+                    threads,
+                );
+                assert_eq!(
+                    got, want,
+                    "case {case}: executor at {threads} threads diverged from the \
+                     reference (n = {n}, b = {}, loss = {}, rounds = {})",
+                    cfg.tag_bits, cfg.loss_prob, cfg.rounds
+                );
+            }
         } else {
             let topo = || StaticTopology::new(cfg.graph.clone());
-            (
-                run_engine(
+            let want = Reference::new(
+                topo(),
+                cfg.params,
+                cfg.schedule.clone(),
+                nodes.clone(),
+                cfg.seed,
+                cfg.loss_prob,
+            )
+            .run(cfg.rounds);
+            for threads in [1usize, 2, 4, 8] {
+                let got = run_engine(
                     topo(),
                     cfg.params,
                     cfg.schedule.clone(),
@@ -429,25 +458,16 @@ fn optimized_step_matches_reference_executor() {
                     cfg.seed,
                     cfg.loss_prob,
                     cfg.rounds,
-                ),
-                Reference::new(
-                    topo(),
-                    cfg.params,
-                    cfg.schedule.clone(),
-                    nodes,
-                    cfg.seed,
-                    cfg.loss_prob,
-                )
-                .run(cfg.rounds),
-            )
-        };
-
-        assert_eq!(
-            got, want,
-            "case {case}: optimized executor diverged from the reference \
-             (n = {n}, b = {}, loss = {}, rounds = {})",
-            cfg.tag_bits, cfg.loss_prob, cfg.rounds
-        );
+                    threads,
+                );
+                assert_eq!(
+                    got, want,
+                    "case {case}: executor at {threads} threads diverged from the \
+                     reference (n = {n}, b = {}, loss = {}, rounds = {})",
+                    cfg.tag_bits, cfg.loss_prob, cfg.rounds
+                );
+            }
+        }
     });
 }
 
@@ -462,24 +482,27 @@ fn reference_equivalence_holds_for_recorded_workload_shape() {
         let graph = gen::random_regular(n, 4, seed ^ 0xF00D);
         let nodes: Vec<Chatty> =
             (0..n as u64).map(|u| Chatty { tag_bits: 0, state: u + 100 }).collect();
-        let got = run_engine(
+        let want = Reference::new(
             StaticTopology::new(graph.clone()),
             ModelParams::mobile(0),
             ActivationSchedule::synchronized(n),
             nodes.clone(),
             seed,
             0.0,
-            80,
-        );
-        let want = Reference::new(
-            StaticTopology::new(graph),
-            ModelParams::mobile(0),
-            ActivationSchedule::synchronized(n),
-            nodes,
-            seed,
-            0.0,
         )
         .run(80);
-        assert_eq!(got, want);
+        for threads in [1usize, 2, 4, 8] {
+            let got = run_engine(
+                StaticTopology::new(graph.clone()),
+                ModelParams::mobile(0),
+                ActivationSchedule::synchronized(n),
+                nodes.clone(),
+                seed,
+                0.0,
+                80,
+                threads,
+            );
+            assert_eq!(got, want, "{threads} threads diverged");
+        }
     });
 }

@@ -131,6 +131,12 @@ fn main() {
                 std::process::exit(1);
             }
         };
+        // A semantics mismatch means every table is stale regardless of
+        // byte digests — report it and stop before the per-file noise.
+        if let Some(p) = manifest::check_engine_semantics(&m) {
+            eprintln!("regen: {p}");
+            std::process::exit(1);
+        }
         let mut problems = manifest::check_digests(&m, &args.results_dir);
         if args.quick {
             eprintln!("regen: re-running quick-scale sweeps for {} tables", m.tables.len());

@@ -84,6 +84,11 @@ pub fn engine_info() -> Vec<(String, String)> {
         // the trace-equivalence suite; name it so a future stream change
         // is traceable to the test that must have been updated with it.
         ("rng_contract".to_string(), "crates/engine/tests/trace_equivalence.rs".to_string()),
+        // Semantics version of the round executor (bumped when the meaning
+        // of a (seed, config) pair changes — e.g. v2's counter-based loss
+        // coins). A manifest recorded under a different version than the
+        // running build means every table must be regenerated.
+        ("engine_semantics".to_string(), mtm_engine::ENGINE_SEMANTICS_VERSION.to_string()),
     ]
 }
 
@@ -250,6 +255,26 @@ impl Manifest {
 /// therefore not bit-deterministic; they get no quick digest (digest-mode
 /// checks of the committed bytes still apply).
 pub const WALL_CLOCK_TABLES: &[&str] = &["f9"];
+
+/// Check that the manifest was recorded under this build's engine
+/// semantics version. Digest checks compare bytes; this catches the
+/// deeper staleness where the bytes match a manifest that a *different
+/// executor* produced (e.g. tables recorded before the v2 counter-based
+/// loss coins). Returns a problem string on mismatch or a missing field.
+pub fn check_engine_semantics(manifest: &Manifest) -> Option<String> {
+    let current = mtm_engine::ENGINE_SEMANTICS_VERSION;
+    match manifest.engine.iter().find(|(k, _)| k == "engine_semantics") {
+        Some((_, v)) if v == current => None,
+        Some((_, v)) => Some(format!(
+            "manifest records engine_semantics {v:?} but this build is {current:?} — \
+             run `regen --all` and commit the result"
+        )),
+        None => Some(format!(
+            "manifest records no engine_semantics but this build is {current:?} — \
+             run `regen --all` and commit the result"
+        )),
+    }
+}
 
 /// Regenerate `ids` (lowercase, in any order; they are processed in
 /// presentation order) into `results_dir`: run each experiment with
@@ -491,6 +516,21 @@ mod tests {
         assert_eq!(problems.len(), 2, "{problems:?}");
         assert!(problems.iter().any(|p| p.starts_with("t1:") && p.contains("drifted")));
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn engine_semantics_mismatch_is_detected() {
+        let mut m = sample();
+        assert_eq!(check_engine_semantics(&m), None, "fresh manifest matches this build");
+        for (k, v) in &mut m.engine {
+            if k == "engine_semantics" {
+                *v = "v0-from-the-past".to_string();
+            }
+        }
+        let problem = check_engine_semantics(&m).expect("mismatch flagged");
+        assert!(problem.contains("regen --all"), "{problem}");
+        m.engine.retain(|(k, _)| k != "engine_semantics");
+        assert!(check_engine_semantics(&m).is_some(), "missing field flagged");
     }
 
     #[test]

@@ -99,7 +99,7 @@ pub static REGISTRY: [Experiment; 23] = [
     },
     Experiment {
         id: "f9",
-        title: "Scaling: slopes at 10^5-10^6 nodes on 8-regular expanders",
+        title: "Scaling: slopes at 10^5-10^8 nodes on 8-regular expanders",
         run: crate::exp_f9::run,
     },
     Experiment {

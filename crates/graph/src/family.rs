@@ -9,6 +9,13 @@
 use crate::gen;
 use crate::static_graph::Graph;
 
+/// Node-count threshold above which randomized regular families switch
+/// from the pairing-model builder ([`gen::random_regular`]) to the
+/// direct-to-CSR cycle-union builder ([`gen::random_regular_cycles`]).
+/// Chosen just above the largest recorded experiment cell (`2^20`) so the
+/// switch cannot perturb any committed table's topology bytes.
+pub const DIRECT_CSR_THRESHOLD: usize = 2_000_000;
+
 /// A named graph family with a scalable size parameter.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum GraphFamily {
@@ -98,7 +105,19 @@ impl GraphFamily {
                 let n = if (n_target * 3).is_multiple_of(2) { n_target } else { n_target + 1 };
                 gen::random_regular(n.max(4), 3, seed)
             }
-            GraphFamily::Expander8 => gen::random_regular(n_target.max(10), 8, seed),
+            GraphFamily::Expander8 => {
+                let n = n_target.max(10);
+                // The pairing model's edge list + repair index cost ~40
+                // bytes/edge; past the threshold only the direct-to-CSR
+                // cycle-union builder fits in memory. Every table recorded
+                // before the threshold existed sits below it, so those
+                // instance bytes are unchanged.
+                if n > DIRECT_CSR_THRESHOLD {
+                    gen::random_regular_cycles(n, 8, seed)
+                } else {
+                    gen::random_regular(n, 8, seed)
+                }
+            }
             GraphFamily::Hypercube => {
                 // intended float->int rounding for a degree parameter. mtm-lint: allow(truncating-cast)
                 let d = (n_target.max(2) as f64).log2().round().max(1.0) as u32;

@@ -14,6 +14,7 @@
 //! | `library-unwrap` | `.unwrap()` | `core`, `engine`, `apps`, `analysis`, `graph`, `check` |
 //! | `truncating-cast` | `as u8/u16/u32/i8/i16/i32/NodeId` | `core`, `engine`, `apps`, `analysis`, `graph`, `check` |
 //! | `smallrng-outside-engine` | `SmallRng::seed_from_u64/from_seed/from_rng` | all but `engine`, `vendor` |
+//! | `parallelism-outside-engine` | `thread::spawn/scope/Builder`, `rayon`, `par_iter`, `crossbeam`, `Mutex`, `AtomicU` | all but `engine`, `vendor` |
 //!
 //! `truncating-cast` exists because a silent `as` truncation on a node id
 //! or counter corrupts simulations without failing; the sanctioned forms
@@ -22,6 +23,12 @@
 //! `smallrng-outside-engine` pins all RNG stream construction to
 //! `mtm_graph::rng::stream_rng` (or annotated spawn-time seeding), so
 //! per-node stream discipline cannot be bypassed casually.
+//! `parallelism-outside-engine` keeps concurrency where its determinism is
+//! proven: the engine's sharded executor (pinned bit-for-bit by the
+//! trace-equivalence suite) and the annotated trial fan-out. Ad-hoc
+//! threads, unordered parallel reductions, and shared-state primitives
+//! anywhere else can reorder RNG draws or float accumulation and silently
+//! desynchronize recorded tables.
 //!
 //! Sources under `tests/`, `benches/`, `examples/`, and `#[cfg(test)]`
 //! blocks are exempt — nondeterminism there cannot corrupt a simulation.
@@ -61,16 +68,18 @@ pub enum Rule {
     LibraryUnwrap,
     TruncatingCast,
     SmallRngOutsideEngine,
+    ParallelismOutsideEngine,
 }
 
 impl Rule {
-    pub const ALL: [Rule; 6] = [
+    pub const ALL: [Rule; 7] = [
         Rule::NondeterministicRng,
         Rule::WallClock,
         Rule::UnorderedIteration,
         Rule::LibraryUnwrap,
         Rule::TruncatingCast,
         Rule::SmallRngOutsideEngine,
+        Rule::ParallelismOutsideEngine,
     ];
 
     /// The rule's name, as used in `allow(...)` annotations.
@@ -82,6 +91,7 @@ impl Rule {
             Rule::LibraryUnwrap => "library-unwrap",
             Rule::TruncatingCast => "truncating-cast",
             Rule::SmallRngOutsideEngine => "smallrng-outside-engine",
+            Rule::ParallelismOutsideEngine => "parallelism-outside-engine",
         }
     }
 
@@ -99,6 +109,18 @@ impl Rule {
             Rule::SmallRngOutsideEngine => {
                 &["SmallRng::seed_from_u64", "SmallRng::from_seed", "SmallRng::from_rng"]
             }
+            Rule::ParallelismOutsideEngine => &[
+                "thread::spawn",
+                "thread::scope",
+                "thread::Builder",
+                "rayon",
+                "par_iter",
+                "crossbeam",
+                "Mutex<",
+                "RwLock<",
+                "AtomicU",
+                "AtomicBool",
+            ],
         }
     }
 
@@ -113,6 +135,11 @@ impl Rule {
             // crate defines SmallRng itself. Everyone else must go through
             // `mtm_graph::rng::stream_rng` or carry an annotation.
             Rule::SmallRngOutsideEngine => crate_name != "engine" && crate_name != "vendor",
+            // The engine's sharded executor is the one place concurrency is
+            // proven deterministic (trace-equivalence at every thread
+            // count). Everywhere else needs an annotation arguing why the
+            // primitive cannot affect recorded output.
+            Rule::ParallelismOutsideEngine => crate_name != "engine" && crate_name != "vendor",
         }
     }
 }
@@ -543,6 +570,20 @@ mod tests {
         assert_eq!(scan("vendor/rand/src/x.rs", src).len(), 0);
         // The sanctioned stream constructor does not match.
         assert_eq!(scan("crates/core/src/x.rs", "let rng = stream_rng(seed, u);\n").len(), 0);
+    }
+
+    #[test]
+    fn parallelism_scoped_outside_engine() {
+        let src = "std::thread::scope(|s| { s.spawn(|| {}); });\n";
+        assert_eq!(scan("crates/core/src/x.rs", src)[0].rule, Rule::ParallelismOutsideEngine);
+        assert_eq!(scan("crates/experiments/src/x.rs", src).len(), 1);
+        assert_eq!(scan("crates/engine/src/parallel.rs", src).len(), 0);
+        let atomics = "use std::sync::atomic::AtomicUsize;\n";
+        assert_eq!(scan("crates/cli/src/x.rs", atomics).len(), 1);
+        // Annotated trial fan-out is the sanctioned escape hatch.
+        let allowed =
+            "// measurement only. mtm-lint: allow(parallelism-outside-engine)\nthread::spawn(f);\n";
+        assert_eq!(scan("crates/experiments/src/x.rs", allowed).len(), 0);
     }
 
     #[test]

@@ -175,7 +175,7 @@ mod tests {
     #[test]
     fn min_gossip_converges_to_true_min() {
         let values: Vec<u64> = (0..20).map(|i| (i * 37 + 11) % 100 + 5).collect();
-        let true_min = *values.iter().min().unwrap();
+        let true_min = *values.iter().min().expect("test values are non-empty");
         let g = gen::random_regular(20, 4, 1);
         let mut e = Engine::new(
             StaticTopology::new(g),

@@ -107,7 +107,7 @@ mod tests {
 
     fn run_consensus(inputs: Vec<(u64, bool)>, seed: u64) -> (bool, Vec<bool>) {
         let n = inputs.len();
-        let expect = inputs.iter().min_by_key(|(u, _)| u).unwrap().1;
+        let expect = inputs.iter().min_by_key(|(u, _)| u).expect("test inputs are non-empty").1;
         let g = gen::random_regular(n, 3, seed);
         let mut e = Engine::new(
             StaticTopology::new(g),

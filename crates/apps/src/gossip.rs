@@ -129,7 +129,8 @@ mod tests {
         // Each node can receive at most one rumor per round, so learning
         // n-1 foreign rumors takes ≥ n-1 rounds.
         let n = 24;
-        let done = run_gossip(gen::clique(n), 5, 1_000_000).unwrap();
+        let done = run_gossip(gen::clique(n), 5, 1_000_000)
+            .expect("gossip must complete on a clique within the round budget");
         assert!(done >= (n - 1) as u64, "finished impossibly fast: {done}");
     }
 

@@ -601,7 +601,10 @@ mod tests {
         assert_eq!(an.doomed, 0, "agreement must stay reachable under every schedule");
         assert_eq!(an.deadlocks, 0);
         // Liveness bound on a path of 3: two trades suffice from anywhere.
-        assert!(an.max_agreement_distance.unwrap() <= 3);
+        assert!(
+            an.max_agreement_distance.expect("certified analysis records an agreement distance")
+                <= 3
+        );
     }
 
     #[test]

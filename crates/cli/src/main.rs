@@ -13,9 +13,16 @@
 //!   `--crash-leader R`, `--wedge-window W`. Exits 0 on a completed
 //!   horizon, 3 when wedge diagnosis fires.
 //!
-//! `elect` and `serve` accept `--threads N` to run the round executor on
-//! N worker shards (0 = all cores). Output is bit-identical at every
-//! thread count — the sharded executor is deterministic by construction.
+//! `elect`, `serve` and `spread` accept `--threads N` to run the round
+//! executor on N worker shards (0 = all cores). Output is bit-identical at
+//! every thread count — the sharded executor is deterministic by
+//! construction.
+//!
+//! `elect` and `spread` accept `--backend event` to drive the same
+//! protocols with the discrete-event simulator instead of lockstep rounds:
+//! per-link latencies and per-node clock drift from a seeded
+//! [`LatencyModel`] (`--latency-spread S` scales the distributions;
+//! `--max-rounds` bounds simulation ticks). Deterministic per seed.
 //! * `mtm spread <algo> <family> <n> [opts]` — one rumor-spreading run
 //!   (`algo`: push-pull | ppush | classical).
 //! * `mtm graph <family> <n>` — print a family instance's statistics
@@ -32,7 +39,8 @@ use mtm_core::{
     PushPull, TagConfig, UidPool,
 };
 use mtm_engine::{
-    ActivationSchedule, Engine, ModelParams, RunStatus, ServiceConfig, ServiceStatus,
+    ActivationSchedule, Engine, EventEngine, LatencyModel, ModelParams, RunStatus, ServiceConfig,
+    ServiceStatus,
 };
 use mtm_experiments::ExpOpts;
 use mtm_graph::dynamic::{BoxedTopology, RelabelingAdversary, StaticTopology};
@@ -67,9 +75,11 @@ fn usage() {
     eprintln!(
         "  mtm elect <blind|bitconv|nonsync> <family> <n> [--seed N] [--tau N] [--threads N] [--detect-stuck]"
     );
+    eprintln!("            [--backend lockstep|event] [--latency-spread S]");
     eprintln!("  mtm serve <family> <n> [--seed N] [--rounds N] [--timeout N] [--churn C,R]");
     eprintln!("            [--loss P] [--crash-leader ROUND] [--wedge-window W] [--threads N]");
-    eprintln!("  mtm spread <push-pull|ppush|classical> <family> <n> [--seed N]");
+    eprintln!("  mtm spread <push-pull|ppush|classical> <family> <n> [--seed N] [--threads N]");
+    eprintln!("            [--backend lockstep|event] [--latency-spread S]");
     eprintln!("  mtm graph <family> <n> [--seed N] [--export PATH]");
     eprintln!(
         "  mtm trace <blind|bitconv|nonsync> <family> <n> [--seed N] [--tau N] [--export CSV]"
@@ -160,6 +170,16 @@ impl GraphSource {
     }
 }
 
+/// Which simulator drives the run.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Backend {
+    /// Global synchronized rounds (the default; sequential or sharded).
+    Lockstep,
+    /// Discrete-event simulation with per-link latencies and no global
+    /// round clock ([`EventEngine`]).
+    Event,
+}
+
 /// Parsed `<family> <n>` (or `--graph-file PATH`) plus
 /// `--seed/--tau/--max-rounds` flags.
 struct RunArgs {
@@ -170,6 +190,10 @@ struct RunArgs {
     export: Option<String>,
     detect_stuck: bool,
     threads: usize,
+    backend: Backend,
+    /// Latency-distribution spread for the event backend
+    /// ([`LatencyModel::multipeer`]).
+    latency_spread: u64,
 }
 
 fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
@@ -189,6 +213,8 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
     let mut export = None;
     let mut detect_stuck = false;
     let mut threads = 1usize;
+    let mut backend = Backend::Lockstep;
+    let mut latency_spread = 8u64;
     while i < args.len() {
         match args[i].as_str() {
             "--seed" => {
@@ -229,11 +255,50 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
                     .parse()
                     .map_err(|e| format!("--threads: {e}"))?;
             }
+            "--backend" => {
+                i += 1;
+                backend = match args.get(i).map(String::as_str) {
+                    Some("lockstep") => Backend::Lockstep,
+                    Some("event") => Backend::Event,
+                    other => return Err(format!("--backend wants lockstep|event, got {other:?}")),
+                };
+            }
+            "--latency-spread" => {
+                i += 1;
+                latency_spread = args
+                    .get(i)
+                    .ok_or("--latency-spread needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--latency-spread: {e}"))?;
+            }
             other => return Err(format!("unknown flag: {other}")),
         }
         i += 1;
     }
-    Ok(RunArgs { source, seed, tau, max_rounds, export, detect_stuck, threads })
+    if backend == Backend::Event {
+        // The event backend runs on a static graph with its own timing
+        // model; these lockstep-only flags would be silently meaningless.
+        if tau.is_some() {
+            return Err("--tau is lockstep-only (the event backend runs a static graph)".into());
+        }
+        if detect_stuck {
+            return Err("--detect-stuck is lockstep-only".into());
+        }
+        if threads != 1 {
+            return Err("--threads is lockstep-only (the event queue is inherently serial)".into());
+        }
+    }
+    Ok(RunArgs {
+        source,
+        seed,
+        tau,
+        max_rounds,
+        export,
+        detect_stuck,
+        threads,
+        backend,
+        latency_spread,
+    })
 }
 
 fn build_topology(a: &RunArgs) -> Result<(BoxedTopology, usize, usize), String> {
@@ -262,6 +327,9 @@ fn cmd_elect(args: &[String]) -> i32 {
             return 2;
         }
     };
+    if a.backend == Backend::Event {
+        return cmd_elect_event(&algo, &a);
+    }
     let (topo, n, delta) = match build_topology(&a) {
         Ok(t) => t,
         Err(e) => {
@@ -360,6 +428,71 @@ fn cmd_elect(args: &[String]) -> i32 {
             if let Some(r) = last_progress {
                 println!("diagnosis: last state change at round {r} — slow but not provably stuck");
             }
+            1
+        }
+    }
+}
+
+/// `mtm elect --backend event`: the same election protocols driven by the
+/// discrete-event simulator — per-link latencies, per-node clock drift, no
+/// global round. `--max-rounds` bounds simulation *ticks* here.
+fn cmd_elect_event(algo: &str, a: &RunArgs) -> i32 {
+    let g = match a.source.build(a.seed) {
+        Ok(g) if g.is_connected() => g,
+        Ok(_) => {
+            eprintln!("error: topology must be connected");
+            return 2;
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+    let n = g.node_count();
+    let delta = g.max_degree();
+    let uids = UidPool::random(n, a.seed ^ 0x11D);
+    let latency = LatencyModel::multipeer(a.latency_spread);
+    println!(
+        "electing a leader: algo={algo} backend=event graph={} n={n} Δ={delta} spread={} seed={}",
+        a.source.describe(),
+        a.latency_spread,
+        a.seed
+    );
+    macro_rules! run_event {
+        ($params:expr, $nodes:expr) => {{
+            let mut e = EventEngine::new(g, $params, $nodes, a.seed, latency);
+            e.run_to_stabilization(a.max_rounds)
+        }};
+    }
+    let out = match algo {
+        "blind" => run_event!(ModelParams::mobile(0), BlindGossip::spawn(&uids)),
+        "bitconv" => {
+            let config = TagConfig::for_network(n, delta);
+            run_event!(ModelParams::mobile(1), BitConvergence::spawn(&uids, config, a.seed ^ 0x7A6))
+        }
+        "nonsync" => {
+            let config = TagConfig::for_network(n, delta);
+            run_event!(
+                ModelParams::mobile(config.nonsync_tag_bits()),
+                NonSyncBitConvergence::spawn(&uids, config, a.seed ^ 0x7A6)
+            )
+        }
+        other => {
+            eprintln!("unknown algorithm: {other} (expected blind|bitconv|nonsync)");
+            return 2;
+        }
+    };
+    match (out.completed_at, out.winner) {
+        (Some(t), Some(winner)) => {
+            println!(
+                "stabilized at tick {t} (mean local round {:.1}); leader UID {winner:#x}; \
+                 {} proposals, {} connections, {} events",
+                out.mean_local_rounds, out.metrics.proposals, out.metrics.connections, out.events
+            );
+            0
+        }
+        _ => {
+            println!("did not stabilize within {} ticks", a.max_rounds);
             1
         }
     }
@@ -609,6 +742,9 @@ fn cmd_spread(args: &[String]) -> i32 {
             return 2;
         }
     };
+    if a.backend == Backend::Event {
+        return cmd_spread_event(&algo, &a);
+    }
     let (topo, n, delta) = match build_topology(&a) {
         Ok(t) => t,
         Err(e) => {
@@ -622,22 +758,19 @@ fn cmd_spread(args: &[String]) -> i32 {
         a.source.describe(),
         a.seed
     );
+    // Every arm goes through set_threads — `--threads` used to be parsed
+    // and then silently dropped here, unlike elect/serve.
+    macro_rules! run_spread {
+        ($params:expr, $nodes:expr) => {{
+            let mut e = Engine::new(topo, $params, sched, $nodes, a.seed);
+            e.set_threads(a.threads);
+            e.run_to_full_information(a.max_rounds)
+        }};
+    }
     let outcome = match algo.as_str() {
-        "push-pull" => {
-            let mut e =
-                Engine::new(topo, ModelParams::mobile(0), sched, PushPull::spawn(n, 1), a.seed);
-            e.run_to_full_information(a.max_rounds)
-        }
-        "classical" => {
-            let mut e =
-                Engine::new(topo, ModelParams::classical(), sched, PushPull::spawn(n, 1), a.seed);
-            e.run_to_full_information(a.max_rounds)
-        }
-        "ppush" => {
-            let mut e =
-                Engine::new(topo, ModelParams::mobile(1), sched, Ppush::spawn(n, 1), a.seed);
-            e.run_to_full_information(a.max_rounds)
-        }
+        "push-pull" => run_spread!(ModelParams::mobile(0), PushPull::spawn(n, 1)),
+        "classical" => run_spread!(ModelParams::classical(), PushPull::spawn(n, 1)),
+        "ppush" => run_spread!(ModelParams::mobile(1), Ppush::spawn(n, 1)),
         other => {
             eprintln!("unknown algorithm: {other} (expected push-pull|ppush|classical)");
             return 2;
@@ -653,6 +786,68 @@ fn cmd_spread(args: &[String]) -> i32 {
         }
         None => {
             println!("rumor incomplete after {} rounds", a.max_rounds);
+            1
+        }
+    }
+}
+
+/// `mtm spread --backend event`: PUSH-PULL / Ppush under the discrete-event
+/// simulator. The classical baseline needs accept-all connections, which
+/// the event backend does not model.
+fn cmd_spread_event(algo: &str, a: &RunArgs) -> i32 {
+    let g = match a.source.build(a.seed) {
+        Ok(g) if g.is_connected() => g,
+        Ok(_) => {
+            eprintln!("error: topology must be connected");
+            return 2;
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+    let n = g.node_count();
+    let delta = g.max_degree();
+    let latency = LatencyModel::multipeer(a.latency_spread);
+    println!(
+        "spreading a rumor: algo={algo} backend=event graph={} n={n} Δ={delta} spread={} seed={}",
+        a.source.describe(),
+        a.latency_spread,
+        a.seed
+    );
+    let out = match algo {
+        "push-pull" => {
+            let mut e =
+                EventEngine::new(g, ModelParams::mobile(0), PushPull::spawn(n, 1), a.seed, latency);
+            e.run_to_full_information(a.max_rounds)
+        }
+        "ppush" => {
+            let mut e =
+                EventEngine::new(g, ModelParams::mobile(1), Ppush::spawn(n, 1), a.seed, latency);
+            e.run_to_full_information(a.max_rounds)
+        }
+        "classical" => {
+            eprintln!(
+                "error: the classical baseline (accept-all) has no event-backend model; \
+                 use --backend lockstep"
+            );
+            return 2;
+        }
+        other => {
+            eprintln!("unknown algorithm: {other} (expected push-pull|ppush|classical)");
+            return 2;
+        }
+    };
+    match out.completed_at {
+        Some(t) => {
+            println!(
+                "all {n} nodes informed at tick {t} (mean local round {:.1}); {} connections, {} events",
+                out.mean_local_rounds, out.metrics.connections, out.events
+            );
+            0
+        }
+        None => {
+            println!("rumor incomplete after {} ticks", a.max_rounds);
             1
         }
     }

@@ -194,7 +194,11 @@ mod tests {
     use mtm_graph::{gen, StaticTopology};
 
     fn winner_pair(nodes: &[BitConvergence]) -> IdPair {
-        nodes.iter().map(|n| IdPair { tag: n.pending.tag, uid: n.pending.uid }).min().unwrap()
+        nodes
+            .iter()
+            .map(|n| IdPair { tag: n.pending.tag, uid: n.pending.uid })
+            .min()
+            .expect("test network has nodes")
     }
 
     fn run(g: mtm_graph::Graph, seed: u64, max_rounds: u64) -> (mtm_engine::RunOutcome, IdPair) {
@@ -202,7 +206,7 @@ mod tests {
         let config = TagConfig::for_network(n, g.max_degree());
         let uids = UidPool::random(n, seed ^ 0xBEEF);
         let nodes = BitConvergence::spawn(&uids, config, seed ^ 0xCAFE);
-        let expect = nodes.iter().map(|x| x.active).min().unwrap();
+        let expect = nodes.iter().map(|x| x.active).min().expect("test network has nodes");
         let mut e = Engine::new(
             StaticTopology::new(g),
             ModelParams::mobile(1),
@@ -240,7 +244,7 @@ mod tests {
         let config = TagConfig::for_network(n, base.max_degree());
         let uids = UidPool::random(n, 5);
         let nodes = BitConvergence::spawn(&uids, config, 6);
-        let expect = nodes.iter().map(|x| x.active).min().unwrap();
+        let expect = nodes.iter().map(|x| x.active).min().expect("test network has nodes");
         let mut e = Engine::new(
             RelabelingAdversary::new(base, 1, 8),
             ModelParams::mobile(1),

@@ -187,6 +187,6 @@ mod tests {
     fn two_nodes_stabilize_quickly() {
         let out = run(gen::clique(2), 9, 10_000);
         // Each round: P(connect) = 1/2 (one sends, other receives).
-        assert!(out.stabilized_round.unwrap() < 200);
+        assert!(out.stabilized_round.expect("blind gossip stabilizes on the clique") < 200);
     }
 }

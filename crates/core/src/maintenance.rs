@@ -490,7 +490,7 @@ mod tests {
             out.service.leaderless_rounds >= 1,
             "detection latency must show up as leaderless downtime"
         );
-        let last = out.epochs.last().unwrap();
+        let last = out.epochs.last().expect("a service run records at least the initial epoch");
         assert_eq!(last.leader, Some(successor));
     }
 }

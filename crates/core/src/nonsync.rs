@@ -215,7 +215,7 @@ mod tests {
         let config = TagConfig::for_network(n, g.max_degree());
         let uids = UidPool::random(n, seed ^ 0x1234);
         let nodes = NonSyncBitConvergence::spawn(&uids, config, seed ^ 0x5678);
-        let expect = nodes.iter().map(|x| x.best).min().unwrap().uid;
+        let expect = nodes.iter().map(|x| x.best).min().expect("test network has nodes").uid;
         let mut e = Engine::new(
             StaticTopology::new(g),
             ModelParams::mobile(config.nonsync_tag_bits()),
@@ -250,7 +250,7 @@ mod tests {
         let sched = ActivationSchedule::two_wave(16, 8, 500);
         let (out, expect) = run_with_schedule(g, sched, 3, 2_000_000);
         assert_eq!(out.winner, Some(expect));
-        let r = out.stabilized_round.unwrap();
+        let r = out.stabilized_round.expect("a stabilized run records its round");
         assert!(r >= 500, "cannot stabilize before the last activation");
     }
 

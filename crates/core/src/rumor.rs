@@ -312,7 +312,9 @@ mod tests {
                 PushPull::spawn(n, 1),
                 seed,
             );
-            e.run_to_full_information(10_000_000).stabilized_round.unwrap()
+            e.run_to_full_information(10_000_000)
+                .stabilized_round
+                .expect("PUSH-PULL informs the clique within the round budget")
         };
         let classical: u64 = (0..3).map(|s| run(ModelParams::classical(), s)).sum();
         let mobile: u64 = (0..3).map(|s| run(ModelParams::mobile(0), s)).sum();

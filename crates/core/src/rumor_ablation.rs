@@ -283,7 +283,9 @@ mod tests {
             xs.sort_unstable();
             xs[2]
         };
-        let push_only = median(&|s| run_push(g.clone(), s, 10_000_000).unwrap());
+        let push_only = median(&|s| {
+            run_push(g.clone(), s, 10_000_000).expect("PUSH-only completes on this instance")
+        });
         let push_pull = median(&|s| {
             let mut e = Engine::new(
                 StaticTopology::new(g.clone()),
@@ -292,7 +294,9 @@ mod tests {
                 PushPull::spawn(n, 1),
                 s,
             );
-            e.run_to_full_information(10_000_000).stabilized_round.unwrap()
+            e.run_to_full_information(10_000_000)
+                .stabilized_round
+                .expect("PUSH-PULL completes on this instance")
         });
         assert!(
             push_pull <= push_only,

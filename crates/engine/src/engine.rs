@@ -58,9 +58,9 @@
 use mtm_graph::{DynamicTopology, NodeId};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
-use rand::Rng;
 
 use crate::activation::ActivationSchedule;
+use crate::executor::{uniform_accept_index, ExecutorSet, RoundExecuter};
 use crate::metrics::{Metrics, RoundTrace};
 use crate::model::{Acceptance, ConnectionPolicy, ModelParams, Tag};
 use crate::protocol::{Action, LeaderView, PayloadCost, Protocol, RumorView, Scan};
@@ -255,10 +255,27 @@ impl<P: Protocol, T: DynamicTopology> Engine<P, T> {
         nodes: Vec<P>,
         seed: u64,
     ) -> Self {
+        Self::from_executors(topology, params, schedule, ExecutorSet::spawn(nodes, seed))
+    }
+
+    /// Build the lockstep backend over an already-spawned
+    /// [`ExecutorSet`] — the typed round-executor surface shared with the
+    /// event backend (see [`crate::executor`]). The set is unzipped into
+    /// the engine's struct-of-arrays state: the hot path batches whole
+    /// phases over parallel arrays, but the node↔stream binding and the
+    /// per-phase draw rules are the executor contract's.
+    pub fn from_executors(
+        topology: T,
+        params: ModelParams,
+        schedule: ActivationSchedule,
+        set: ExecutorSet<P>,
+    ) -> Self {
         let n = topology.node_count();
-        assert_eq!(nodes.len(), n, "one protocol instance per topology node");
+        assert_eq!(set.len(), n, "one protocol instance per topology node");
         assert_eq!(schedule.len(), n, "activation schedule must cover all nodes");
-        let rngs = (0..n as u64).map(|u| mtm_graph::rng::stream_rng(seed, u)).collect();
+        let seed = set.seed();
+        let (nodes, rngs): (Vec<P>, Vec<SmallRng>) =
+            set.into_executors().into_iter().map(RoundExecuter::into_parts).unzip();
         Engine {
             topology,
             params,
@@ -682,8 +699,7 @@ impl<P: Protocol, T: DynamicTopology> Engine<P, T> {
                 ConnectionPolicy::SingleUniform => {
                     let u = match self.params.acceptance {
                         Acceptance::UniformIndex => {
-                            let pick = if k == 1 { 0 } else { self.rngs[vi].gen_range(0..k) };
-                            incoming[pick]
+                            incoming[uniform_accept_index(&mut self.rngs[vi], k)]
                         }
                         Acceptance::SelectionPermutation => {
                             // Definition VI.2's device: shuffle the
@@ -1172,6 +1188,7 @@ impl<P: Protocol + RumorView, T: DynamicTopology> Engine<P, T> {
 mod tests {
     use super::*;
     use mtm_graph::{gen, StaticTopology};
+    use rand::Rng;
 
     /// Test protocol: blind-gossip-like min-UID spreader with tunable
     /// behaviour, used to exercise engine mechanics.
@@ -1353,7 +1370,7 @@ mod tests {
         assert_eq!(e.node(1).best, 100);
         let out = e.run_to_stabilization(10_000);
         assert_eq!(out.winner, Some(100));
-        let r = out.stabilized_round.unwrap();
+        let r = out.stabilized_round.expect("a stabilized run records its round");
         assert!(r >= 50);
         assert_eq!(out.rounds_after_activation, Some(r - 50 + 1));
     }
@@ -1377,7 +1394,12 @@ mod tests {
         e.enable_tracing();
         e.run_rounds(8);
         // In some round the hub listened and connected to all 7 leaves.
-        let max_conn = e.traces().iter().map(|t| t.connections).max().unwrap();
+        let max_conn = e
+            .traces()
+            .iter()
+            .map(|t| t.connections)
+            .max()
+            .expect("a traced run records at least one round");
         assert!(
             max_conn >= (n - 1) as u64,
             "classical hub should accept all proposals, max was {max_conn}"

@@ -34,6 +34,8 @@
 pub mod activation;
 pub mod audit;
 pub mod engine;
+pub mod event;
+pub mod executor;
 pub mod fingerprint;
 pub mod metrics;
 pub mod model;
@@ -47,6 +49,8 @@ pub use engine::{
     rounds_after_activation, Engine, RoundScript, RunOutcome, RunStatus, StuckReport,
     ENGINE_SEMANTICS_VERSION,
 };
+pub use event::{EventEngine, EventKind, EventOutcome, EventRecord, LatencyModel};
+pub use executor::{uniform_accept_index, ExecutorSet, RoundExecuter};
 pub use metrics::{Metrics, RoundTrace, ServiceMetrics};
 pub use model::{ConnectionPolicy, ModelParams, Tag};
 pub use protocol::{Action, EpochView, LeaderView, PayloadCost, Protocol, RumorView, Scan};

@@ -41,7 +41,6 @@
 
 use mtm_graph::{DynamicTopology, NodeId};
 use rand::seq::SliceRandom;
-use rand::Rng;
 
 use super::{Engine, Slot};
 use crate::metrics::RoundTrace;
@@ -312,8 +311,7 @@ impl<P: Protocol, T: DynamicTopology> Engine<P, T> {
                             let rng = &mut rngs[i];
                             let u = match acceptance {
                                 Acceptance::UniformIndex => {
-                                    let pick = if k == 1 { 0 } else { rng.gen_range(0..k) };
-                                    incoming[pick]
+                                    incoming[crate::executor::uniform_accept_index(rng, k)]
                                 }
                                 Acceptance::SelectionPermutation => {
                                     // Same device as the sequential path:

@@ -1,0 +1,6 @@
+//! Harness binary for experiment AS2 (title and runner resolved through
+//! the experiment registry).
+
+fn main() {
+    mtm_experiments::registry::run_binary("as2");
+}

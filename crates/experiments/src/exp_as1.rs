@@ -1,0 +1,139 @@
+//! **AS1 — asynchronous election: event-backend completion time vs
+//! latency-distribution spread** (validating the no-global-clock claim).
+//!
+//! The paper's §IX deployment argument — and the follow-up asynchronous
+//! gossip work (PAPERS.md) — hold that the protocols do not actually need
+//! the lockstep round abstraction: real Multipeer/Wi-Fi Direct stacks give
+//! every device its own scan/connect cadence. This experiment runs blind
+//! gossip under the discrete-event backend ([`EventEngine`]), where every
+//! scan, link and listen window has a seeded random duration and nodes
+//! drift freely, and compares completion time against the **lockstep
+//! bound**: the same protocol on the same graph with the same per-node
+//! randomness under synchronized rounds, converted to ticks at the latency
+//! model's nominal round length ([`LatencyModel::nominal_round_ticks`]).
+//!
+//! The sweep axis is the spread knob of [`LatencyModel::multipeer`]:
+//! `spread = 0` is an almost-synchronous network (identical phase
+//! durations, drift only from round-trip asymmetries), larger spreads make
+//! device clocks increasingly heterogeneous. Expected shape: the
+//! tick-ratio column stays O(1) across the sweep — asynchrony costs a
+//! constant factor, not an asymptotic one — which is precisely the claim
+//! the lockstep engine could not test.
+
+use mtm_analysis::table::{fmt_f64, Table};
+use mtm_core::{BlindGossip, UidPool};
+use mtm_engine::runner::run_trials;
+use mtm_engine::{ActivationSchedule, Engine, EventEngine, LatencyModel, ModelParams};
+use mtm_graph::dynamic::StaticTopology;
+use mtm_graph::rng::derive_seed;
+use mtm_graph::GraphFamily;
+
+use crate::harness::summarize;
+use crate::opts::{ExpOpts, Scale};
+
+/// One event-backend trial: ticks until every node agrees on the leader.
+fn event_trial(
+    family: GraphFamily,
+    n: usize,
+    spread: u64,
+    seed: u64,
+    max_time: u64,
+) -> Option<u64> {
+    let g = family.build(n, derive_seed(seed, 0));
+    let uids = UidPool::random(g.node_count(), derive_seed(seed, 10));
+    let mut e = EventEngine::new(
+        g,
+        ModelParams::mobile(0),
+        BlindGossip::spawn(&uids),
+        derive_seed(seed, 11),
+        LatencyModel::multipeer(spread),
+    );
+    e.run_to_stabilization(max_time).completed_at
+}
+
+/// The lockstep comparator: same graph, same UIDs, same trial seed, global
+/// synchronized rounds.
+fn lockstep_trial(family: GraphFamily, n: usize, seed: u64, max_rounds: u64) -> Option<u64> {
+    let g = family.build(n, derive_seed(seed, 0));
+    let n_actual = g.node_count();
+    let uids = UidPool::random(n_actual, derive_seed(seed, 10));
+    let mut e = Engine::new(
+        StaticTopology::new(g),
+        ModelParams::mobile(0),
+        ActivationSchedule::synchronized(n_actual),
+        BlindGossip::spawn(&uids),
+        derive_seed(seed, 11),
+    );
+    e.run_to_stabilization(max_rounds).stabilized_round
+}
+
+/// Run the experiment, returning the result table.
+pub fn run(opts: &ExpOpts) -> Table {
+    let (ns, spreads, trials, max_time): (&[usize], &[u64], usize, u64) = match opts.scale {
+        Scale::Quick => (&[32], &[0, 8], opts.trials_or(2), 5_000_000),
+        Scale::Full => (&[64, 256], &[0, 4, 16, 64], opts.trials_or(8), 100_000_000),
+    };
+    let family = GraphFamily::Expander8;
+    let mut table = Table::new(vec![
+        "n",
+        "spread",
+        "trials",
+        "mean ticks",
+        "median",
+        "lockstep rounds",
+        "bound ticks",
+        "ratio",
+        "timeouts",
+    ]);
+    for &n in ns {
+        // The lockstep comparator has no latency model — one baseline per n.
+        let lockstep: Vec<Option<u64>> =
+            run_trials(trials, opts.seed, opts.threads, move |_t, seed| {
+                lockstep_trial(family, n, seed, max_time)
+            });
+        let lockstep_mean = summarize(&lockstep).summary.map(|s| s.mean);
+        for &spread in spreads {
+            let results: Vec<Option<u64>> =
+                run_trials(trials, opts.seed, opts.threads, move |_t, seed| {
+                    event_trial(family, n, spread, seed, max_time)
+                });
+            let ts = summarize(&results);
+            let mean = ts.summary.as_ref().map(|s| s.mean);
+            let bound =
+                lockstep_mean.map(|m| m * LatencyModel::multipeer(spread).nominal_round_ticks());
+            let ratio = match (mean, bound) {
+                (Some(m), Some(b)) if b > 0.0 => fmt_f64(m / b),
+                _ => "-".into(),
+            };
+            table.push_row(vec![
+                n.to_string(),
+                spread.to_string(),
+                trials.to_string(),
+                mean.map_or("-".into(), fmt_f64),
+                ts.summary.as_ref().map_or("-".into(), |s| fmt_f64(s.median)),
+                lockstep_mean.map_or("-".into(), fmt_f64),
+                bound.map_or("-".into(), fmt_f64),
+                ratio,
+                ts.timeouts.to_string(),
+            ]);
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_shape() {
+        let mut opts = ExpOpts::quick();
+        opts.trials = 1;
+        let t = run(&opts);
+        assert_eq!(t.len(), 2); // 1 size × 2 spreads
+        for row in t.rows() {
+            assert_eq!(row[8], "0", "no cell should time out at quick scale: {row:?}");
+            assert_ne!(row[7], "-", "the bound ratio must be computable: {row:?}");
+        }
+    }
+}

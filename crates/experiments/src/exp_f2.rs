@@ -28,7 +28,9 @@ pub fn run(opts: &ExpOpts) -> Table {
     let g = mtm_graph::gen::line_of_stars(s, s);
     let n = g.node_count();
     let delta = g.max_degree();
-    let alpha = mtm_graph::GraphFamily::LineOfStars.known_alpha(n).unwrap();
+    let alpha = mtm_graph::GraphFamily::LineOfStars
+        .known_alpha(n)
+        .expect("the line of stars has an analytic alpha at every size");
 
     let mut table = Table::new(vec![
         "τ",

@@ -91,7 +91,7 @@ pub fn run(opts: &ExpOpts) -> Table {
         let as_f: Vec<f64> = results.iter().map(|&x| x as f64).collect();
         let s = Summary::of(&as_f);
         let mut sorted = as_f.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("matching ratios are finite, never NaN"));
         let p10 = mtm_analysis::stats::percentile_sorted(&sorted, 0.10);
         let target = m as f64 / f_of_r(d, r, n);
         // "With constant probability at least m/f(r)": check the 10th
@@ -122,7 +122,7 @@ pub fn guarantee_margin(opts: &ExpOpts, m: usize, d: usize) -> Vec<(f64, f64)> {
                 ppush_trial(m, d, r, seed)
             });
             let mut as_f: Vec<f64> = results.iter().map(|&x| x as f64).collect();
-            as_f.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            as_f.sort_by(|a, b| a.partial_cmp(b).expect("matching ratios are finite, never NaN"));
             let p10 = mtm_analysis::stats::percentile_sorted(&as_f, 0.10);
             (p10, m as f64 / f_of_r(d, r, n))
         })

@@ -117,8 +117,8 @@ mod tests {
         assert_eq!(t.len(), 3); // 2 sizes + fit row
                                 // The mobile mean must exceed the classical mean at n = 64.
         let row = &t.rows()[1];
-        let c: f64 = row[1].parse().unwrap();
-        let m: f64 = row[2].parse().unwrap();
+        let c: f64 = row[1].parse().expect("rounds column is numeric");
+        let m: f64 = row[2].parse().expect("rounds column is numeric");
         assert!(m > c, "mobile ({m}) should be slower than classical ({c})");
     }
 }

@@ -167,8 +167,8 @@ mod tests {
         assert_eq!(t.len(), 12);
         // Fractions in [0, 1]; last checkpoint ≥ first (net progress).
         for col in 1..=3 {
-            let first: f64 = t.rows()[0][col].parse().unwrap();
-            let last: f64 = t.rows()[11][col].parse().unwrap();
+            let first: f64 = t.rows()[0][col].parse().expect("fraction column is numeric");
+            let last: f64 = t.rows()[11][col].parse().expect("fraction column is numeric");
             assert!((0.0..=1.0).contains(&first) && (0.0..=1.0).contains(&last));
             assert!(last >= first, "column {col} regressed: {first} -> {last}");
         }

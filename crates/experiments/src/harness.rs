@@ -343,7 +343,7 @@ mod tests {
         let r = vec![Some(10), None, Some(20), Some(30)];
         let s = summarize(&r);
         assert_eq!(s.timeouts, 1);
-        let sum = s.summary.unwrap();
+        let sum = s.summary.expect("a non-empty trial set has a summary");
         assert_eq!(sum.count, 3);
         assert!((sum.mean - 20.0).abs() < 1e-12);
     }

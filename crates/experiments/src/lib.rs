@@ -25,6 +25,8 @@
 //! | C2 | service mode — mass departure of the leader + successors | [`exp_c2`] |
 //! | C3 | service mode — partition and heal (split brain) | [`exp_c3`] |
 //! | C4 | service mode — rolling churn at 10⁶ nodes | [`exp_c4`] |
+//! | AS1 | async election — event backend vs lockstep bound | [`exp_as1`] |
+//! | AS2 | async PUSH-PULL — event backend vs lockstep bound | [`exp_as2`] |
 //!
 //! Every experiment is a pure function of [`opts::ExpOpts`] (trials, seed,
 //! scale), prints an aligned table, and can emit CSV for EXPERIMENTS.md.
@@ -40,6 +42,8 @@ pub mod registry;
 pub mod exp_a1;
 pub mod exp_a2;
 pub mod exp_a3;
+pub mod exp_as1;
+pub mod exp_as2;
 pub mod exp_c1;
 pub mod exp_c2;
 pub mod exp_c3;
@@ -72,7 +76,7 @@ pub fn run_by_id(id: &str, opts: &ExpOpts) -> Option<mtm_analysis::table::Table>
 /// Experiment ids in presentation order (paper claims T*/F*, ablations A*,
 /// service-mode churn scenarios C*).
 /// Kept in lockstep with [`registry::REGISTRY`] by its unit tests.
-pub const ALL_IDS: [&str; 23] = [
+pub const ALL_IDS: [&str; 25] = [
     "t1", "f1", "t2", "f2", "t3", "f3", "t4", "f4", "t5", "f5", "t6", "f6", "f7", "f8", "f9", "a1",
-    "a2", "a3", "c1", "c2", "c3", "c4", "v1",
+    "a2", "a3", "c1", "c2", "c3", "c4", "v1", "as1", "as2",
 ];

@@ -467,7 +467,9 @@ mod tests {
         replacement.wall_s = 99.0;
         m.upsert(replacement, &["t1", "f9"]);
         assert_eq!(m.tables.len(), 2);
-        assert!((m.entry("t1").unwrap().wall_s - 99.0).abs() < 1e-9);
+        assert!(
+            (m.entry("t1").expect("the t1 entry was just recorded").wall_s - 99.0).abs() < 1e-9
+        );
         // New entry lands in presentation order, not at the end.
         let mut extra = m.tables[0].clone();
         extra.id = "f1".to_string();

@@ -148,7 +148,7 @@ mod tests {
 
     #[test]
     fn parse_defaults() {
-        let o = ExpOpts::parse(&[]).unwrap();
+        let o = ExpOpts::parse(&[]).expect("empty flag list parses to defaults");
         assert_eq!(o.scale, Scale::Full);
         assert_eq!(o.trials, 0);
     }
@@ -156,7 +156,7 @@ mod tests {
     #[test]
     fn parse_flags() {
         let o = ExpOpts::parse(&s(&["--quick", "--trials", "7", "--seed", "99", "--threads", "2"]))
-            .unwrap();
+            .expect("all flags in this list are valid");
         assert_eq!(o.scale, Scale::Quick);
         assert_eq!(o.trials, 7);
         assert_eq!(o.seed, 99);
@@ -165,7 +165,7 @@ mod tests {
 
     #[test]
     fn parse_csv_path() {
-        let o = ExpOpts::parse(&s(&["--csv", "/tmp/x.csv"])).unwrap();
+        let o = ExpOpts::parse(&s(&["--csv", "/tmp/x.csv"])).expect("--csv with a path is valid");
         assert_eq!(o.csv.as_deref(), Some("/tmp/x.csv"));
     }
 

@@ -30,7 +30,7 @@ impl Experiment {
 
 /// Every experiment, in presentation order (paper claims T*/F*, then the
 /// beyond-the-paper F8/F9, ablations A*, and service-mode churn C*).
-pub static REGISTRY: [Experiment; 23] = [
+pub static REGISTRY: [Experiment; 25] = [
     Experiment {
         id: "t1",
         title: "Theorem VI.1 — blind gossip O((1/a)*D^2*log^2 n)",
@@ -137,6 +137,16 @@ pub static REGISTRY: [Experiment; 23] = [
         id: "v1",
         title: "Model checking — n=4 certification matrix + beta=1 deadlock control",
         run: crate::exp_v1::run,
+    },
+    Experiment {
+        id: "as1",
+        title: "Async election — event backend ticks vs the lockstep bound",
+        run: crate::exp_as1::run,
+    },
+    Experiment {
+        id: "as2",
+        title: "Async PUSH-PULL — event backend ticks vs the lockstep bound",
+        run: crate::exp_as2::run,
     },
 ];
 

@@ -219,7 +219,7 @@ mod tests {
             let g = fam.build(12, 0);
             let n = g.node_count();
             let exact = alpha_exact(&g);
-            let known = fam.known_alpha(n).unwrap();
+            let known = fam.known_alpha(n).expect("family defines analytic alpha at this size");
             assert!((exact - known).abs() < 1e-9, "{fam}: exact {exact} vs known {known}");
         }
     }
@@ -229,7 +229,9 @@ mod tests {
         // Exact α for the 3-star, 3-point instance (n = 12, enumerable).
         let g = gen::line_of_stars(3, 3);
         let exact = alpha_exact(&g);
-        let known = GraphFamily::LineOfStars.known_alpha(12).unwrap();
+        let known = GraphFamily::LineOfStars
+            .known_alpha(12)
+            .expect("line of stars defines analytic alpha at n = 12");
         // Same order: within a factor of 4.
         assert!(exact <= known * 4.0 && known <= exact * 4.0, "exact {exact} vs known {known}");
     }

@@ -256,7 +256,7 @@ mod tests {
     fn edge_list_round_trip() {
         for g in [gen::clique(6), gen::path(5), gen::line_of_stars(3, 3), gen::star(8)] {
             let text = to_edge_list(&g);
-            let back = from_edge_list(&text).unwrap();
+            let back = from_edge_list(&text).expect("exported edge list parses back");
             assert_eq!(g, back);
         }
     }
@@ -264,14 +264,14 @@ mod tests {
     #[test]
     fn edge_list_with_comments_and_blanks() {
         let text = "# a triangle\nn 3\n\n0 1\n1 2\n# done\n2 0\n";
-        let g = from_edge_list(text).unwrap();
+        let g = from_edge_list(text).expect("edge list with comments parses");
         assert_eq!(g.node_count(), 3);
         assert_eq!(g.edge_count(), 3);
     }
 
     #[test]
     fn edge_list_without_header_infers_n() {
-        let g = from_edge_list("0 1\n1 4\n").unwrap();
+        let g = from_edge_list("0 1\n1 4\n").expect("sparse ids parse");
         assert_eq!(g.node_count(), 5);
         assert_eq!(g.edge_count(), 2);
         assert_eq!(g.degree(2), 0); // isolated intermediate node
@@ -290,14 +290,14 @@ mod tests {
 
     #[test]
     fn empty_input_is_empty_graph() {
-        let g = from_edge_list("").unwrap();
+        let g = from_edge_list("").expect("an empty edge list is a valid empty graph");
         assert_eq!(g.node_count(), 0);
     }
 
     #[test]
     fn json_round_trip() {
         let g = gen::hypercube(3);
-        let back = from_json(&to_json(&g)).unwrap();
+        let back = from_json(&to_json(&g)).expect("JSON export parses back");
         assert_eq!(g, back);
     }
 

@@ -125,3 +125,83 @@ fn different_fault_seeds_diverge() {
     };
     assert_ne!(run(0xFA017), run(0xFA018));
 }
+
+/// PUSH-PULL on a 24-node expander under the given fault mix.
+fn rumor_engine(
+    seed: u64,
+    crash: f64,
+    loss: f64,
+) -> Engine<PushPull, FaultyTopology<StaticTopology>> {
+    let g = GraphFamily::Expander8.build(24, derive_seed(seed, 0));
+    let n = g.node_count();
+    let cfg = if crash > 0.0 { FaultConfig::crashes(crash, 0.2) } else { FaultConfig::NONE };
+    let topo = FaultyTopology::new(StaticTopology::new(g), cfg, derive_seed(seed, 13));
+    let mut e = Engine::new(
+        topo,
+        ModelParams::mobile(0),
+        ActivationSchedule::synchronized(n),
+        PushPull::spawn(n, 1),
+        derive_seed(seed, 11),
+    );
+    if loss > 0.0 {
+        e.set_proposal_loss(loss);
+    }
+    e
+}
+
+#[test]
+fn push_pull_completes_under_proposal_loss() {
+    // Dropping 30% of proposals slows the rumor but must not strand it:
+    // the coin-flip retry structure has no state to corrupt.
+    let lossless = rumor_engine(0x5EED, 0.0, 0.0)
+        .run_to_full_information(1_000_000)
+        .stabilized_round
+        .expect("fault-free PUSH-PULL informs the expander");
+    let lossy = rumor_engine(0x5EED, 0.0, 0.3)
+        .run_to_full_information(1_000_000)
+        .stabilized_round
+        .expect("PUSH-PULL must still complete at 30% proposal loss");
+    assert!(
+        lossy >= lossless,
+        "loss cannot speed up a monotone rumor on the same engine stream \
+         (lossless {lossless}, lossy {lossy})"
+    );
+}
+
+#[test]
+fn push_pull_completes_under_crash_churn() {
+    // Crashed nodes cannot be informed while down, so completion rides on
+    // recovery; with recover ≫ crash the rumor must still land everywhere.
+    let out = rumor_engine(0x5EED, 0.02, 0.0).run_to_full_information(1_000_000);
+    assert!(out.stabilized_round.is_some(), "PUSH-PULL must survive 2% crash churn");
+}
+
+#[test]
+fn push_pull_fault_runs_replay_identically() {
+    let m = determinism_self_check(|| rumor_engine(0xB0B, 0.02, 0.3), 2_000)
+        .expect("faulted PUSH-PULL runs must replay identically");
+    assert!(m.dropped_proposals > 0, "loss at p = 0.3 should drop something in 2000 rounds");
+}
+
+#[test]
+fn ppush_completes_under_loss_and_crashes() {
+    // PPUSH carries protocol state in the advertised bit; faults must not
+    // wedge the informed/uninformed frontier.
+    let g = GraphFamily::Expander8.build(24, derive_seed(7, 0));
+    let n = g.node_count();
+    let topo = FaultyTopology::new(
+        StaticTopology::new(g),
+        FaultConfig::crashes(0.02, 0.2),
+        derive_seed(7, 13),
+    );
+    let mut e = Engine::new(
+        topo,
+        ModelParams::mobile(1),
+        ActivationSchedule::synchronized(n),
+        Ppush::spawn(n, 1),
+        derive_seed(7, 11),
+    );
+    e.set_proposal_loss(0.3);
+    let out = e.run_to_full_information(1_000_000);
+    assert!(out.stabilized_round.is_some(), "PPUSH must survive crash churn + 30% loss");
+}
